@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many services fit a socket under SLAs?
+
+Builds the offline predictor once, attaches per-service SLAs, and answers
+the questions an operator actually asks: does my planned mix meet its
+SLAs? How many monitoring flows can share a socket with a VPN gateway?
+Which of three candidate consolidations has the most headroom? No
+deployment is ever simulated — this is the paper's predictability payoff.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import PlatformSpec
+from repro.core.capacity import SLA, CapacityPlanner
+from repro.core.prediction import ContentionPredictor
+from repro.core.reporting import format_table, pct
+
+SCALE = 16
+WARMUP, MEASURE = 3000, 1200
+
+
+def main() -> None:
+    spec = PlatformSpec.westmere().scaled(SCALE).single_socket()
+    apps = ["MON", "FW", "VPN", "RE"]
+    print(f"building the offline predictor for {', '.join(apps)}...")
+    predictor = ContentionPredictor.build(
+        apps, spec, warmup_packets=WARMUP, measure_packets=MEASURE,
+    )
+    # SLAs at ~80% of each type's solo rate.
+    slas = [SLA(app, 0.8 * predictor.profiles[app].throughput)
+            for app in apps]
+    planner = CapacityPlanner(predictor, slas)
+    print("SLAs: " + ", ".join(
+        f"{sla.app} >= {sla.min_throughput:,.0f} pps" for sla in slas))
+
+    print("\n1) Assess a planned mix: MON, MON, VPN, FW, RE")
+    assessment = planner.assess(["MON", "MON", "VPN", "FW", "RE"])
+    rows = [
+        [flow.app, f"{flow.predicted_throughput:,.0f}",
+         pct(flow.predicted_drop),
+         "OK" if flow.meets_sla else "VIOLATED",
+         f"{flow.headroom:+.1%}"]
+        for flow in assessment.flows
+    ]
+    print(format_table(
+        ["flow", "predicted pps", "predicted drop", "SLA", "headroom"],
+        rows))
+    print("verdict:", "deployable" if assessment.feasible
+          else "violates SLAs")
+
+    print("\n2) How many MON flows can join one VPN gateway?")
+    n, at_n = planner.max_coresident("VPN", "MON", max_slots=5)
+    print(f"   up to {n} MON flows keep every SLA "
+          f"(worst headroom {at_n.worst_headroom:+.1%})")
+
+    print("\n3) Rank three consolidation candidates:")
+    candidates = [
+        ["MON", "MON", "MON", "FW", "FW", "FW"],
+        ["MON", "MON", "VPN", "VPN", "FW", "RE"],
+        ["MON", "RE", "RE", "RE", "VPN", "VPN"],
+    ]
+    for deployment, result in planner.rank_deployments(candidates):
+        status = ("feasible, worst headroom "
+                  f"{result.worst_headroom:+.1%}"
+                  if result.feasible else
+                  f"INFEASIBLE ({len(result.violations)} violations)")
+        print(f"   {' + '.join(deployment):<40} {status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Trace tooling: realistic traffic models, pcap round-trip, DPI replay.
+
+Generates a skewed (Zipf) flow population with IMIX packet sizes and a
+few injected attack packets, writes it to a standard pcap file, reads it
+back, and replays it through an inspection pipeline (IP forwarding +
+NetFlow + Aho-Corasick DPI). Everything is functional packet processing —
+the written file is valid classic pcap that tcpdump/wireshark can open.
+
+Run:  python examples/trace_pipeline.py [trace.pcap]
+"""
+
+import random
+import sys
+import tempfile
+
+from repro.apps.dpi import DPIElement
+from repro.apps.ipforward import RadixIPLookup
+from repro.apps.netflow import NetFlow
+from repro.hw.machine import FlowEnv
+from repro.hw.topology import PlatformSpec
+from repro.mem.access import AccessContext
+from repro.mem.allocator import AddressSpace
+from repro.net.packet import Packet
+from repro.net.pcapfile import read_pcap, write_pcap
+from repro.net.traces import IMIXTraffic, ZipfFlowTraffic
+
+N_PACKETS = 4000
+SIGNATURE = b"\xccMALWARE-C2-BEACON"
+
+
+def build_trace(rng) -> list:
+    zipf = ZipfFlowTraffic(rng, n_flows=400, alpha=1.1)
+    imix = IMIXTraffic(rng, inner=zipf)
+    print(f"flow model: 400 flows, Zipf(1.1) — top 10 flows carry "
+          f"{zipf.expected_top_share(10):.0%} of traffic; "
+          f"IMIX mean payload {imix.average_payload():.0f}B")
+    packets = imix.take(N_PACKETS)
+    # Plant a handful of attack payloads.
+    for i in rng.sample(range(N_PACKETS), 6):
+        victim = packets[i]
+        packets[i] = Packet.udp(
+            src=victim.ip.src, dst=victim.ip.dst, sport=victim.l4.sport,
+            dport=victim.l4.dport,
+            payload=b"A" * 10 + SIGNATURE + b"B" * 10,
+        )
+    return packets
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    path = sys.argv[1] if len(sys.argv) > 1 else \
+        tempfile.mktemp(suffix=".pcap")
+
+    packets = build_trace(rng)
+    written = write_pcap(path, packets, interval=2e-6)
+    print(f"wrote {written} packets to {path}")
+
+    replayed = read_pcap(path)
+    print(f"read back {len(replayed)} packets")
+
+    # Inspection pipeline (functional replay).
+    spec = PlatformSpec.westmere().scaled(16)
+    env = FlowEnv(space=AddressSpace(spec.n_sockets), domain=0, spec=spec,
+                  rng=rng)
+    lookup = RadixIPLookup(n_routes=4000)
+    netflow = NetFlow(n_entries=2048)
+    dpi = DPIElement(patterns=[SIGNATURE], drop_on_match=True)
+    for element in (lookup, netflow, dpi):
+        element.initialize(env)
+
+    forwarded = 0
+    ctx = AccessContext()
+    for packet in replayed:
+        ctx.reset()
+        out = lookup.process(ctx, packet)
+        if out is None:
+            continue
+        out = netflow.process(ctx, out)
+        out = dpi.process(ctx, out)
+        if out is not None:
+            forwarded += 1
+
+    print(f"\nforwarded {forwarded}/{len(replayed)} "
+          f"({dpi.alerts} DPI alerts dropped, "
+          f"{lookup.no_route} unroutable)")
+    print(f"netflow observed {netflow.active_flows()} live flows; "
+          "top talkers:")
+    for key, count in netflow.top_flows(5):
+        src, dst, _, sport, dport = key
+        print(f"  {src:08x}:{sport:<5} -> {dst:08x}:{dport:<5} {count} pkts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for environments installing with the legacy (non-PEP-660) path."""
+from setuptools import setup
+
+setup()

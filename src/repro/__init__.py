@@ -1,0 +1,51 @@
+"""repro: a reproduction of "Toward Predictable Performance in Software
+Packet-Processing Platforms" (Dobrescu, Argyraki, Ratnasamy — NSDI 2012).
+
+The package simulates the paper's two-socket multicore packet-processing
+platform (shared L3 caches, memory controllers, QPI), runs real
+packet-processing applications on it (IP forwarding, NetFlow, firewall,
+redundancy elimination, AES VPN), and implements the paper's contributions:
+contention characterization, SYN-sweep performance prediction,
+contention-aware scheduling analysis, and aggressiveness containment.
+
+Quickstart::
+
+    from repro import Machine, PlatformSpec, app_factory
+
+    spec = PlatformSpec.westmere().scaled(16)
+    machine = Machine(spec.single_socket())
+    machine.add_flow(app_factory("MON"), core=0)
+    for core in range(1, 6):
+        machine.add_flow(app_factory("RE"), core=core)
+    result = machine.run(warmup_packets=200, measure_packets=800)
+    print(result.throughput("MON@0"))
+"""
+
+from .hw.machine import Machine, RunResult, FlowEnv
+from .hw.topology import PlatformSpec
+from .hw.counters import FlowStats, performance_drop
+from .apps.registry import app_factory, make_app, APP_NAMES, REALISTIC_APPS
+from .core.profiler import profile_solo, SoloProfile
+from .core.prediction import ContentionPredictor, SensitivityCurve
+from .core.scheduling import PlacementStudy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "FlowEnv",
+    "PlatformSpec",
+    "FlowStats",
+    "performance_drop",
+    "app_factory",
+    "make_app",
+    "APP_NAMES",
+    "REALISTIC_APPS",
+    "profile_solo",
+    "SoloProfile",
+    "ContentionPredictor",
+    "SensitivityCurve",
+    "PlacementStudy",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Packet-processing applications (Section 2.1 of the paper).
+
+Five realistic applications — IP forwarding (IP), NetFlow monitoring (MON),
+firewall (FW), redundancy elimination (RE), VPN (AES-128) — plus the SYN
+synthetic profiler application. Each is a real implementation (the trie
+routes, the firewall filters, RE's encoder round-trips, AES matches the
+FIPS-197 vectors); data-structure accesses are mirrored into the cache
+simulation via :class:`~repro.mem.access.AccessContext`.
+"""
+
+from .radixtrie import RadixTrie, RouteTableBuilder
+from .aes import AES128, aes_ctr_keystream
+from .fingerprint import RabinFingerprinter
+from .packetstore import PacketStore
+from .ahocorasick import AhoCorasick
+from .registry import (
+    make_app,
+    app_factory,
+    APP_NAMES,
+    REALISTIC_APPS,
+    EXTENSION_APPS,
+)
+
+__all__ = [
+    "RadixTrie",
+    "RouteTableBuilder",
+    "AES128",
+    "aes_ctr_keystream",
+    "RabinFingerprinter",
+    "PacketStore",
+    "AhoCorasick",
+    "make_app",
+    "app_factory",
+    "APP_NAMES",
+    "REALISTIC_APPS",
+    "EXTENSION_APPS",
+]

@@ -1,0 +1,205 @@
+"""Multibit radix trie for longest-prefix-match IP lookup.
+
+This is the lookup structure behind the paper's IP application ("the
+RadixTrie lookup algorithm provided with the Click distribution and a
+routing-table of 128000 entries"). Like Click's RadixIPLookup, the trie
+uses a wide first stride and 4-bit strides below it, with controlled
+prefix expansion at the terminal level; each slot packs its child pointer
+and route into one 4-byte entry, so one slot probe is one 4-byte memory
+reference.
+
+The trie is purely functional here; the ``RadixIPLookup`` element wraps it
+with access recording. ``lookup`` returns the matched route together with
+the byte offsets of the probed slots so the wrapper can replay the walk
+against simulated memory. The top levels are small and probed by every
+packet — the "hot spots" of the paper's Figure 7 — while the deep levels
+are large, uniformly accessed, and cache-sensitive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..net.addresses import prefix_mask
+
+#: Default strides: 8-bit root, then 2-bit levels (sums to 32). The fine
+#: strides give lookups the deep pointer-chasing walk of Click's radix
+#: trie: the handful of top levels are hot, the populous middle levels are
+#: large, uniformly visited, and cache-sensitive.
+DEFAULT_STRIDES = (8,) + (2,) * 12
+
+#: Packed slot width in the simulated layout (child/route union, Click-style).
+SLOT_BYTES = 4
+
+
+class RadixTrie:
+    """Variable-stride multibit trie mapping IPv4 prefixes to next hops."""
+
+    def __init__(self, strides: Sequence[int] = DEFAULT_STRIDES):
+        if sum(strides) != 32:
+            raise ValueError(f"strides must cover 32 bits, got {sum(strides)}")
+        if any(s <= 0 for s in strides):
+            raise ValueError("every stride must be positive")
+        self.strides = tuple(strides)
+        # Parallel per-node arrays; node 0 is the root. ``route_plens``
+        # remembers the originating prefix length of each expanded slot so
+        # that a shorter prefix never overwrites a longer one's expansion.
+        self.children: List[List[int]] = [[-1] * (1 << strides[0])]
+        self.routes: List[List[Optional[int]]] = [[None] * (1 << strides[0])]
+        self.route_plens: List[List[int]] = [[-1] * (1 << strides[0])]
+        self.level: List[int] = [0]
+        self.node_offset: List[int] = [0]
+        self._next_offset = (1 << strides[0]) * SLOT_BYTES
+        self.default_route: Optional[int] = None
+        self.n_routes = 0
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of allocated trie nodes."""
+        return len(self.children)
+
+    @property
+    def total_bytes(self) -> int:
+        """Simulated memory footprint of all nodes."""
+        return self._next_offset
+
+    def _new_node(self, level: int) -> int:
+        slots = 1 << self.strides[level]
+        self.children.append([-1] * slots)
+        self.routes.append([None] * slots)
+        self.route_plens.append([-1] * slots)
+        self.level.append(level)
+        self.node_offset.append(self._next_offset)
+        self._next_offset += slots * SLOT_BYTES
+        return len(self.children) - 1
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(self, prefix: int, plen: int, next_hop: int) -> None:
+        """Install ``prefix/plen -> next_hop`` (later inserts overwrite)."""
+        if not 0 <= plen <= 32:
+            raise ValueError(f"bad prefix length {plen}")
+        if not 0 <= prefix <= 0xFFFFFFFF:
+            raise ValueError("prefix must be a 32-bit value")
+        if prefix & ~prefix_mask(plen):
+            raise ValueError("prefix has bits set beyond its length")
+        if plen == 0:
+            self.default_route = next_hop
+            self.n_routes += 1
+            return
+        node = 0
+        level = 0
+        consumed = 0
+        while plen > consumed + self.strides[level]:
+            stride = self.strides[level]
+            shift = 32 - consumed - stride
+            slot = (prefix >> shift) & ((1 << stride) - 1)
+            child = self.children[node][slot]
+            if child < 0:
+                child = self._new_node(level + 1)
+                self.children[node][slot] = child
+            node = child
+            consumed += stride
+            level += 1
+        # Controlled prefix expansion within the terminal node: a slot is
+        # overwritten only by an equal-or-longer prefix (longest match wins;
+        # equal-length re-inserts overwrite).
+        stride = self.strides[level]
+        rem = plen - consumed
+        shift = 32 - consumed - stride
+        base = (prefix >> shift) & ((1 << stride) - 1)
+        span = 1 << (stride - rem)
+        slots = self.routes[node]
+        plens = self.route_plens[node]
+        for i in range(base, base + span):
+            if plen >= plens[i]:
+                slots[i] = next_hop
+                plens[i] = plen
+        self.n_routes += 1
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, addr: int) -> Tuple[Optional[int], List[int]]:
+        """Longest-prefix-match for ``addr``.
+
+        Returns ``(next_hop, probed_offsets)`` where ``probed_offsets`` are
+        the byte offsets of every slot probed, root first.
+        """
+        best = self.default_route
+        node = 0
+        shift = 32
+        level = 0
+        visited: List[int] = []
+        strides = self.strides
+        children = self.children
+        routes = self.routes
+        offsets = self.node_offset
+        while True:
+            stride = strides[level]
+            shift -= stride
+            slot = (addr >> shift) & ((1 << stride) - 1)
+            visited.append(offsets[node] + slot * SLOT_BYTES)
+            route = routes[node][slot]
+            if route is not None:
+                best = route
+            node = children[node][slot]
+            if node < 0 or shift == 0:
+                return best, visited
+            level += 1
+
+    def lookup_route(self, addr: int) -> Optional[int]:
+        """Just the next hop (reference-model helper for tests)."""
+        return self.lookup(addr)[0]
+
+
+class RouteTableBuilder:
+    """Generate realistic random routing tables.
+
+    Prefix lengths follow a BGP-like distribution (dominated by /24s) so
+    that lookups on uniformly random destinations walk deep, mostly
+    distinct paths — the paper's worst case for cache sensitivity.
+    """
+
+    #: (prefix_len, weight) pairs approximating a BGP table's length mix.
+    LENGTH_MIX = ((8, 1), (12, 3), (16, 12), (20, 26), (24, 53), (28, 5))
+
+    def __init__(self, rng: random.Random, addr_bits: int = 32):
+        if not 8 <= addr_bits <= 32:
+            raise ValueError("addr_bits must be in [8, 32]")
+        self.rng = rng
+        self.addr_bits = addr_bits
+        lengths = []
+        for plen, weight in self.LENGTH_MIX:
+            lengths.extend([plen] * weight)
+        self._lengths = lengths
+
+    def random_prefix(self) -> Tuple[int, int]:
+        """One random ``(prefix, plen)`` with a realistic length.
+
+        Prefixes live in the (possibly reduced) address universe: the top
+        ``32 - addr_bits`` bits are zero, matching the traffic generators
+        on a scaled platform.
+        """
+        plen = self.rng.choice(self._lengths)
+        prefix = self.rng.getrandbits(self.addr_bits) & prefix_mask(plen)
+        return prefix, plen
+
+    def build(self, n_entries: int, n_next_hops: int = 16) -> RadixTrie:
+        """A trie with ``n_entries`` random routes plus a default route."""
+        if n_entries <= 0:
+            raise ValueError("need at least one route")
+        trie = RadixTrie()
+        trie.insert(0, 0, 0)  # default route
+        inserted = 0
+        seen = set()
+        while inserted < n_entries:
+            prefix, plen = self.random_prefix()
+            if (prefix, plen) in seen:
+                continue
+            seen.add((prefix, plen))
+            trie.insert(prefix, plen, self.rng.randrange(n_next_hops))
+            inserted += 1
+        return trie

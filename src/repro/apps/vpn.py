@@ -1,0 +1,65 @@
+"""VPN: AES-128 payload encryption (the paper's CPU-intensive flow).
+
+"Each packet is subjected to full IP forwarding, NetFlow and AES-128
+encryption." The element really encrypts the payload (CTR mode, per-packet
+counter) with the pure-Python AES from :mod:`repro.apps.aes`. The AES
+lookup tables are L1-resident and folded into the calibrated per-block
+compute cost; the payload lines the cipher reads and writes are mirrored
+into simulated memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..constants import COST_AES_BLOCK
+from ..hw.machine import FlowEnv
+from ..mem.access import AccessContext, TAGS
+from ..click.element import Element
+from ..net.packet import Packet
+from .aes import AES128, ctr_crypt
+
+
+class VPNEncrypt(Element):
+    """Encrypt the packet payload under a per-flow AES-128 key."""
+
+    def __init__(self, key: Optional[bytes] = None):
+        self._cfg_key = key
+        self.cipher: AES128 = None  # type: ignore[assignment]
+        self.context_region = None
+        self.counter = 0
+        self.packets = 0
+        self.bytes_encrypted = 0
+        self._tag = TAGS.register("vpn_payload")
+        self._tag_ctx = TAGS.register("vpn_context")
+
+    def initialize(self, env: FlowEnv) -> None:
+        key = self._cfg_key if self._cfg_key is not None else env.rng.randbytes(16)
+        self.cipher = AES128(key)
+        # Security-association state: round keys + nonce/counter (hot lines).
+        self.context_region = env.space.domain(env.domain).alloc(
+            256, "vpn.context"
+        )
+
+    def process(self, ctx: AccessContext, packet: Packet) -> Packet:
+        if self.cipher is None:
+            raise RuntimeError("VPNEncrypt used before initialize()")
+        payload = packet.payload
+        ctx.touch(self.context_region, 0, 192, self._tag_ctx)
+        if payload:
+            n_blocks = (len(payload) + 15) // 16
+            # Read plaintext, encrypt, write ciphertext back.
+            if packet.buffer is not None:
+                ctx.touch(packet.buffer, packet.header_bytes, len(payload),
+                          self._tag)
+            for _ in range(n_blocks):
+                ctx.cost(COST_AES_BLOCK)
+            packet.payload = ctr_crypt(self.cipher, nonce=self.packets,
+                                       counter0=self.counter, data=payload)
+            self.counter += n_blocks
+            if packet.buffer is not None:
+                ctx.touch(packet.buffer, packet.header_bytes, len(payload),
+                          self._tag)
+            self.bytes_encrypted += len(payload)
+        self.packets += 1
+        return packet

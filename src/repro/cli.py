@@ -1,0 +1,218 @@
+"""Command-line tools.
+
+* ``repro-profile`` — solo-profile flow types (Table 1 rows).
+* ``repro-predict`` — build the predictor and predict a deployment's
+  per-flow drops (optionally validating against a simulation).
+* ``repro-schedule`` — best/worst placement study for a flow combination.
+* ``repro-sweep`` — sensitivity curve of one flow type vs. SYN competitors,
+  with an ASCII rendering of the curve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps.registry import APP_NAMES, REALISTIC_APPS, describe_apps
+from .core.asciiplot import plot_curve
+from .core.prediction import ContentionPredictor, sweep_sensitivity
+from .core.profiler import profile_apps
+from .core.reporting import format_table, pct
+from .core.scheduling import PlacementStudy
+from .core.validation import run_corun
+from .experiments.common import ExperimentConfig
+from .hw.counters import performance_drop
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=8,
+                        help="platform scale-down factor (default 8)")
+    parser.add_argument("--seed", type=int, default=0x5EED)
+    parser.add_argument("--warmup", type=int, default=5000,
+                        help="warm-up packets per flow")
+    parser.add_argument("--measure", type=int, default=1500,
+                        help="measured packets per flow")
+
+
+def _config(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=args.scale, seed=args.seed,
+        solo_warmup=args.warmup, solo_measure=args.measure,
+        corun_warmup=args.warmup, corun_measure=args.measure,
+    )
+
+
+def _parse_flows(flows: List[str]) -> List[str]:
+    """Expand ``2xMON``-style arguments into flow-name lists."""
+    out: List[str] = []
+    for token in flows:
+        if "x" in token and token.split("x", 1)[0].isdigit():
+            count, name = token.split("x", 1)
+            out.extend([name] * int(count))
+        else:
+            out.append(token)
+    for name in out:
+        if name not in APP_NAMES:
+            raise SystemExit(
+                f"unknown flow type {name!r}; known: {', '.join(APP_NAMES)}"
+            )
+    return out
+
+
+def profile_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-profile``."""
+    parser = argparse.ArgumentParser(
+        description="Solo-profile packet-processing flow types (Table 1).",
+        epilog="Flow types: " + "; ".join(
+            f"{k}: {v}" for k, v in describe_apps().items()),
+    )
+    parser.add_argument("apps", nargs="*", default=list(REALISTIC_APPS),
+                        help="flow types to profile (default: all realistic)")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    apps = args.apps or list(REALISTIC_APPS)
+    config = _config(args)
+    profiles = profile_apps(apps, config.socket_spec(), seed=config.seed,
+                            warmup_packets=config.solo_warmup,
+                            measure_packets=config.solo_measure)
+    rows = [
+        [app, f"{p.throughput:,.0f}", f"{p.cycles_per_packet:.0f}",
+         f"{p.cycles_per_instruction:.2f}",
+         f"{p.l3_refs_per_sec / 1e6:.1f}M", f"{p.l3_hits_per_sec / 1e6:.1f}M"]
+        for app, p in profiles.items()
+    ]
+    print(format_table(
+        ["flow", "pkts/sec", "cyc/pkt", "CPI", "L3 refs/s", "L3 hits/s"],
+        rows, title=f"Solo profiles (scale 1/{args.scale})",
+    ))
+    return 0
+
+
+def predict_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-predict``."""
+    parser = argparse.ArgumentParser(
+        description="Predict per-flow contention drops for a deployment "
+                    "sharing one socket.",
+    )
+    parser.add_argument("flows", nargs="+",
+                        help="deployment, e.g. MON 2xVPN FW RE (max 6)")
+    parser.add_argument("--validate", action="store_true",
+                        help="also simulate the deployment and report errors")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    flows = _parse_flows(args.flows)
+    config = _config(args)
+    spec = config.socket_spec()
+    if len(flows) > spec.cores_per_socket:
+        raise SystemExit(f"at most {spec.cores_per_socket} flows per socket")
+    types = sorted(set(flows))
+    print(f"profiling {', '.join(types)} and sweeping sensitivity curves...",
+          file=sys.stderr)
+    predictor = ContentionPredictor.build(
+        types, spec, seed=config.seed,
+        warmup_packets=config.solo_warmup,
+        measure_packets=config.solo_measure,
+    )
+    measured = {}
+    if args.validate:
+        placement = [(app, core) for core, app in enumerate(flows)]
+        corun = run_corun(placement, spec, seed=config.seed,
+                          warmup_packets=config.corun_warmup,
+                          measure_packets=config.corun_measure)
+        for app, core in placement:
+            label = f"{app}@{core}"
+            measured[core] = performance_drop(
+                predictor.profiles[app].throughput, corun.throughput[label]
+            )
+    rows = []
+    for core, app in enumerate(flows):
+        competitors = flows[:core] + flows[core + 1:]
+        predicted = predictor.predict_drop(app, competitors)
+        row = [f"{app}@{core}", pct(predicted),
+               f"{predictor.predict_throughput(app, competitors):,.0f}"]
+        if args.validate:
+            row.extend([pct(measured[core]), pct(predicted - measured[core])])
+        rows.append(row)
+    headers = ["flow", "predicted drop", "predicted pkts/sec"]
+    if args.validate:
+        headers.extend(["measured drop", "error"])
+    print(format_table(headers, rows, title="Deployment prediction"))
+    return 0
+
+
+def schedule_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-schedule``."""
+    parser = argparse.ArgumentParser(
+        description="Best/worst flow-to-core placement for a 12-flow "
+                    "combination (Section 5 study).",
+    )
+    parser.add_argument("flows", nargs="+",
+                        help="12 flows, e.g. 6xMON 6xFW")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    flows = _parse_flows(args.flows)
+    config = _config(args)
+    spec = config.spec()
+    if len(flows) != spec.total_cores:
+        raise SystemExit(f"need exactly {spec.total_cores} flows")
+    types = sorted(set(flows))
+    print(f"profiling {', '.join(types)}...", file=sys.stderr)
+    profiles = profile_apps(types, spec, seed=config.seed,
+                            warmup_packets=config.solo_warmup,
+                            measure_packets=config.solo_measure)
+    study = PlacementStudy(spec, profiles, seed=config.seed,
+                           warmup_packets=config.corun_warmup,
+                           measure_packets=config.corun_measure)
+    result = study.run(flows, method="simulate")
+    print(format_table(
+        ["placement", "avg drop"],
+        [["best:  " + " | ".join("+".join(g) for g in result.best.split),
+          pct(result.best.average_drop)],
+         ["worst: " + " | ".join("+".join(g) for g in result.worst.split),
+          pct(result.worst.average_drop)]],
+        title="Contention-aware scheduling study",
+    ))
+    print(f"\nmaximum overall gain from placement: "
+          f"{pct(result.scheduling_gain)}")
+    return 0
+
+
+def sweep_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-sweep``."""
+    parser = argparse.ArgumentParser(
+        description="Sweep a flow type against SYN competitors of rising "
+                    "refs/sec and print its sensitivity curve "
+                    "(prediction method, step 2).",
+    )
+    parser.add_argument("app", choices=sorted(APP_NAMES),
+                        help="flow type to sweep")
+    parser.add_argument("--competitors", type=int, default=5,
+                        help="number of SYN co-runners (default 5)")
+    _add_common(parser)
+    args = parser.parse_args(argv)
+    config = _config(args)
+    spec = config.socket_spec()
+    print(f"profiling {args.app} and sweeping {args.competitors} SYN "
+          "competitors...", file=sys.stderr)
+    curve = sweep_sensitivity(
+        args.app, spec, seed=config.seed,
+        n_competitors=args.competitors,
+        warmup_packets=config.solo_warmup,
+        measure_packets=config.solo_measure,
+    )
+    rows = [[f"{refs / 1e6:.1f}M", pct(drop)] for refs, drop in curve.points]
+    print(format_table(["competing refs/s", "drop"], rows,
+                       title=f"{args.app} sensitivity curve"))
+    print()
+    print(plot_curve(
+        [(refs / 1e6, 100 * drop) for refs, drop in curve.points],
+        name=args.app, x_label="competing Mrefs/s", y_label="drop %",
+    ))
+    print(f"\nturning point (80% of max drop): "
+          f"{curve.turning_point() / 1e6:.1f}M refs/s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(profile_main())

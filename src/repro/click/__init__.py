@@ -1,0 +1,24 @@
+"""Click-like modular packet-processing framework.
+
+Applications are composed from :class:`~repro.click.element.Element`
+instances into per-flow :class:`~repro.click.pipeline.Pipeline` chains
+(the paper's "parallel approach": one core runs a packet through every
+processing step), or wired into a :class:`~repro.click.router.Router`
+configuration graph. :mod:`repro.click.handoff` provides the cross-core
+queues used by the pipeline-parallelization comparison of Section 2.2.
+"""
+
+from .element import Element, PacketSink
+from .pipeline import Pipeline
+from .router import Router
+from .handoff import HandoffQueue, PipelineStage, build_pipelined_flow
+
+__all__ = [
+    "Element",
+    "PacketSink",
+    "Pipeline",
+    "Router",
+    "HandoffQueue",
+    "PipelineStage",
+    "build_pipelined_flow",
+]

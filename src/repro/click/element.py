@@ -1,0 +1,59 @@
+"""The element abstraction.
+
+An element is one packet-processing step. Like Click elements, ours are
+configured once, initialized against a flow's environment (where they
+allocate their simulated-memory regions), and then invoked per packet.
+``process`` does the element's real work on the packet and mirrors its
+data-structure accesses into the flow's :class:`AccessContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ..hw.machine import FlowEnv
+from ..mem.access import AccessContext
+from ..net.packet import Packet
+
+#: What ``process`` may return: the packet (possibly replaced), None for a
+#: drop, or ``(output_port, packet)`` for multi-output elements in a Router.
+ProcessResult = Union[Packet, None, Tuple[int, Packet]]
+
+
+class Element:
+    """Base class for packet-processing elements."""
+
+    #: Number of output ports (1 for simple pass-through elements).
+    n_outputs = 1
+
+    def initialize(self, env: FlowEnv) -> None:
+        """Allocate simulated-memory regions and build functional state.
+
+        Called exactly once, when the owning flow is placed on a core.
+        ``env.domain`` is the NUMA domain the flow's data must live in.
+        """
+
+    def process(self, ctx: AccessContext, packet: Packet) -> ProcessResult:
+        """Process one packet; record accesses into ``ctx``."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """Element name for configuration dumps."""
+        return self.__class__.__name__
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.name}>"
+
+
+class PacketSink(Element):
+    """Terminal element: counts and absorbs packets (like Click's Discard)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.bytes = 0
+
+    def process(self, ctx: AccessContext, packet: Packet) -> None:
+        self.count += 1
+        self.bytes += packet.wire_length
+        return None

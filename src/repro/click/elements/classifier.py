@@ -1,0 +1,55 @@
+"""Classifier: steer packets to output ports by protocol/port patterns."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...mem.access import AccessContext
+from ...net.packet import Packet
+from ..element import Element
+
+
+class Pattern:
+    """One match pattern: any field set to None is a wildcard."""
+
+    def __init__(self, protocol: Optional[int] = None,
+                 dport: Optional[int] = None, sport: Optional[int] = None):
+        self.protocol = protocol
+        self.dport = dport
+        self.sport = sport
+
+    def matches(self, packet: Packet) -> bool:
+        """True when every non-wildcard field matches ``packet``."""
+        if self.protocol is not None and packet.ip.protocol != self.protocol:
+            return False
+        if self.dport is not None and packet.l4.dport != self.dport:
+            return False
+        if self.sport is not None and packet.l4.sport != self.sport:
+            return False
+        return True
+
+
+class Classifier(Element):
+    """First-match classification onto ``len(patterns)`` output ports.
+
+    A packet matching ``patterns[i]`` exits port ``i``; non-matching
+    packets exit the last port (a catch-all), mirroring Click's trailing
+    ``-`` pattern.
+    """
+
+    def __init__(self, patterns: List[Pattern]):
+        if not patterns:
+            raise ValueError("need at least one pattern")
+        self.patterns = patterns
+        self.n_outputs = len(patterns) + 1
+        self.matched = [0] * self.n_outputs
+
+    def process(self, ctx: AccessContext, packet: Packet) -> Tuple[int, Packet]:
+        ctx.compute(10 * len(self.patterns), 8 * len(self.patterns))
+        for port, pattern in enumerate(self.patterns):
+            if pattern.matches(packet):
+                self.matched[port] += 1
+                return port, packet
+        port = self.n_outputs - 1
+        self.matched[port] += 1
+        return port, packet

@@ -1,0 +1,19 @@
+"""Discard: drop everything (Click's Discard)."""
+
+from __future__ import annotations
+
+from ...mem.access import AccessContext
+from ...net.packet import Packet
+from ..element import Element
+
+
+class Discard(Element):
+    """Terminal drop element."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def process(self, ctx: AccessContext, packet: Packet) -> None:
+        ctx.compute(2, 3)
+        self.count += 1
+        return None

@@ -1,0 +1,38 @@
+"""QueueElement: a bounded packet queue (Click's Queue)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ...mem.access import AccessContext
+from ...net.packet import Packet
+from ..element import Element
+
+
+class QueueElement(Element):
+    """Bounded FIFO; ``process`` enqueues (dropping at capacity), ``pull`` dequeues."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def process(self, ctx: AccessContext, packet: Packet) -> Optional[Packet]:
+        ctx.compute(8, 10)
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return None
+        self._queue.append(packet)
+        self.enqueued += 1
+        return packet
+
+    def pull(self) -> Optional[Packet]:
+        """Dequeue the oldest packet, or None when empty."""
+        return self._queue.popleft() if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)

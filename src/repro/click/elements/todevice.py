@@ -1,0 +1,49 @@
+"""ToDevice: the transmit path (descriptor write + statistics)."""
+
+from __future__ import annotations
+
+from ...constants import COST_TX, RX_RING_ENTRIES
+from ...hw.machine import FlowEnv
+from ...mem.access import AccessContext, TAGS
+from ...mem.region import Region
+from ...net.packet import Packet
+from ..element import Element
+
+_DESCRIPTOR_BYTES = 16
+
+
+class ToDevice(Element):
+    """Per-core transmit queue."""
+
+    def __init__(self, ring_entries: int = RX_RING_ENTRIES):
+        if ring_entries <= 0:
+            raise ValueError("ring must have at least one descriptor")
+        self._cfg_entries = ring_entries
+        self.ring_entries = 0
+        self.ring: Region = None  # type: ignore[assignment]
+        self.sent = 0
+        self.bytes_sent = 0
+        self._index = 0
+        self._tag_skb = TAGS.register("skb_recycle")
+
+    def initialize(self, env: FlowEnv) -> None:
+        self.ring_entries = max(16, self._cfg_entries // env.spec.scale)
+        self.ring = env.space.domain(env.domain).alloc(
+            self.ring_entries * _DESCRIPTOR_BYTES, "tx.ring"
+        )
+
+    def send(self, ctx: AccessContext, packet: Packet) -> None:
+        """Queue one packet for transmission."""
+        if self.ring is None:
+            raise RuntimeError("ToDevice used before initialize()")
+        i = self._index
+        self._index = (i + 1) % self.ring_entries
+        ctx.cost(COST_TX)
+        ctx.touch(self.ring, i * _DESCRIPTOR_BYTES, _DESCRIPTOR_BYTES,
+                  self._tag_skb)
+        self.sent += 1
+        self.bytes_sent += packet.wire_length
+
+    def process(self, ctx: AccessContext, packet: Packet) -> Packet:
+        self.send(ctx, packet)
+        return packet

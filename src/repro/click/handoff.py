@@ -1,0 +1,260 @@
+"""Cross-core packet handoff: the "pipeline approach" of Section 2.2.
+
+In the pipeline parallelization, a packet is handled by multiple cores:
+one receives it, passes it to the next for further processing, and so on.
+The paper identifies the costs that make this lose to run-to-completion:
+passing descriptors/headers between cores causes compulsory misses in the
+receiving core's private caches, and buffer recycling (the transmitting
+core returning buffers to the receiving core's pool) needs extra
+synchronization — "in our system, pipelining results in 10-15 extra cache
+misses per packet."
+
+:class:`HandoffQueue` models an SPSC descriptor ring whose slots and
+head/tail lines ping-pong between producer and consumer (each write
+invalidates the peer's privately cached copy, so the peer's next read is
+served from the shared L3). :class:`PipelineStage` is a flow running one
+segment of an element chain on one core; :func:`build_pipelined_flow`
+wires stages, handoff queues, and the buffer-recycle path onto consecutive
+cores of a machine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence
+
+from ..constants import (
+    COST_HANDOFF,
+    HANDOFF_QUEUE_CAPACITY,
+    PIPELINE_IDLE_STALL_CYCLES,
+)
+from ..hw.machine import FlowEnv, Machine
+from ..mem.access import AccessContext, TAGS
+from ..mem.region import Region
+from ..net.flowgen import TrafficSource
+from .element import Element
+from .elements.fromdevice import FromDevice
+from .elements.todevice import ToDevice
+
+_DESCRIPTOR_BYTES = 64  # one line per slot: descriptor + header words
+
+
+class HandoffQueue:
+    """SPSC cross-core queue with cache-line ping-pong on push/pop."""
+
+    def __init__(self, capacity: int = HANDOFF_QUEUE_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._queue: Deque[object] = deque()
+        self.ring: Region = None  # type: ignore[assignment]
+        self.sync: Region = None  # type: ignore[assignment]
+        self.producer_core: Optional[int] = None
+        self.consumer_core: Optional[int] = None
+        self.pushed = 0
+        self.popped = 0
+        self._head = 0
+        self._tail = 0
+        self._tag = TAGS.register("handoff")
+
+    def initialize(self, env: FlowEnv) -> None:
+        """Allocate the ring and head/tail sync lines (producer's domain)."""
+        alloc = env.space.domain(env.domain)
+        self.ring = alloc.alloc(self.capacity * _DESCRIPTOR_BYTES, "handoff.ring")
+        self.sync = alloc.alloc(128, "handoff.sync")  # head line + tail line
+
+    @property
+    def full(self) -> bool:
+        """True when the ring has no free descriptor."""
+        return len(self._queue) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        """True when no descriptor is pending."""
+        return not self._queue
+
+    def push(self, ctx: AccessContext, item, machine: Machine) -> bool:
+        """Producer side: enqueue a descriptor; False when full."""
+        if self.full:
+            return False
+        ctx.cost(COST_HANDOFF)
+        tag = self._tag
+        slot = self._tail % self.capacity
+        self._tail += 1
+        # Producer reads head (written by consumer) to check occupancy,
+        # then writes the slot and the tail line.
+        ctx.touch(self.sync, 0, 8, tag)
+        ctx.touch(self.ring, slot * _DESCRIPTOR_BYTES, _DESCRIPTOR_BYTES, tag)
+        ctx.touch(self.sync, 64, 8, tag)
+        if self.consumer_core is not None:
+            machine.invalidate_private(
+                [self.ring.line(slot * _DESCRIPTOR_BYTES), self.sync.line(64)],
+                self.consumer_core,
+            )
+        self._queue.append(item)
+        self.pushed += 1
+        return True
+
+    def pop(self, ctx: AccessContext, machine: Machine):
+        """Consumer side: dequeue a descriptor; None when empty."""
+        if not self._queue:
+            return None
+        ctx.cost(COST_HANDOFF)
+        tag = self._tag
+        slot = self._head % self.capacity
+        self._head += 1
+        # Consumer reads tail (written by producer) and the slot, then
+        # advances the head line.
+        ctx.touch(self.sync, 64, 8, tag)
+        ctx.touch(self.ring, slot * _DESCRIPTOR_BYTES, _DESCRIPTOR_BYTES, tag)
+        ctx.touch(self.sync, 0, 8, tag)
+        if self.producer_core is not None:
+            machine.invalidate_private([self.sync.line(0)], self.producer_core)
+        self.popped += 1
+        return self._queue.popleft()
+
+
+class PipelineStage:
+    """One core's segment of a pipelined flow."""
+
+    def __init__(self, name: str, elements: Sequence[Element],
+                 source: Optional[TrafficSource] = None,
+                 upstream: Optional[HandoffQueue] = None,
+                 downstream: Optional[HandoffQueue] = None,
+                 recycle: Optional[HandoffQueue] = None,
+                 rx: Optional[FromDevice] = None,
+                 tx: Optional[ToDevice] = None,
+                 measure_weight: float = 1.0):
+        if (source is None) == (upstream is None):
+            raise ValueError("a stage has either a source or an upstream queue")
+        self.name = name
+        self.elements = list(elements)
+        self.source = source
+        self.upstream = upstream
+        self.downstream = downstream
+        self.recycle = recycle
+        self.rx = rx
+        self.tx = tx
+        self.measure_weight = measure_weight
+        self.processed = 0
+        self.stalls = 0
+        self._machine: Optional[Machine] = None
+        self._core: Optional[int] = None
+
+    def attach_run(self, machine: Machine, flow_run) -> None:
+        """Learn our core id; register it with the adjacent queues."""
+        self._machine = machine
+        self._core = flow_run.core
+        if self.upstream is not None:
+            self.upstream.consumer_core = flow_run.core
+        if self.downstream is not None:
+            self.downstream.producer_core = flow_run.core
+        if self.recycle is not None:
+            if self.source is not None:
+                self.recycle.consumer_core = flow_run.core
+            else:
+                self.recycle.producer_core = flow_run.core
+
+    def run_packet(self, ctx: AccessContext):
+        """One stage turn: take work, run the segment, hand off."""
+        machine = self._machine
+        if machine is None:
+            raise RuntimeError("stage not attached to a machine")
+        if self.source is not None:
+            # First stage: receive from the wire.
+            if self.downstream is not None and self.downstream.full:
+                self.stalls += 1
+                ctx.mark_idle(PIPELINE_IDLE_STALL_CYCLES)
+                return None
+            if self.recycle is not None and not self.recycle.empty:
+                self.recycle.pop(ctx, machine)  # reclaim a transmitted buffer
+            packet = self.source.next_packet()
+            dma = self.rx.receive(ctx, packet) if self.rx is not None else None
+        else:
+            # Downstream stage: take work from the previous core.
+            if self.downstream is not None and self.downstream.full:
+                self.stalls += 1
+                ctx.mark_idle(PIPELINE_IDLE_STALL_CYCLES)
+                return None
+            packet = self.upstream.pop(ctx, machine)
+            if packet is None:
+                self.stalls += 1
+                ctx.mark_idle(PIPELINE_IDLE_STALL_CYCLES)
+                return None
+            dma = None
+        for element in self.elements:
+            result = element.process(ctx, packet)
+            if result is None:
+                return dma
+            if isinstance(result, tuple):
+                result = result[1]
+            packet = result
+        if self.downstream is not None:
+            self.downstream.push(ctx, packet, machine)
+        else:
+            if self.tx is not None:
+                self.tx.send(ctx, packet)
+            if self.recycle is not None:
+                self.recycle.push(ctx, packet.buffer, machine)
+        self.processed += 1
+        return dma
+
+
+def build_pipelined_flow(
+    machine: Machine,
+    name: str,
+    source_factory,
+    stage_element_factories: Sequence,
+    cores: Sequence[int],
+    data_domain: Optional[int] = None,
+    measure_weight: float = 1.0,
+) -> List:
+    """Wire a pipelined flow across ``cores`` of ``machine``.
+
+    ``stage_element_factories`` is one callable per stage; each takes a
+    :class:`FlowEnv` and returns that stage's (already initialized)
+    element list. Only the last stage is measured: its packet completion
+    rate is the flow's throughput. Returns the created FlowRuns.
+    """
+    n_stages = len(stage_element_factories)
+    if n_stages < 2:
+        raise ValueError("a pipelined flow needs at least two stages")
+    if len(cores) != n_stages:
+        raise ValueError("need exactly one core per stage")
+
+    queues = [HandoffQueue() for _ in range(n_stages - 1)]
+    recycle = HandoffQueue()
+    runs = []
+    for i in range(n_stages):
+        def factory(env: FlowEnv, i=i):
+            elements = stage_element_factories[i](env)
+            if i == 0:
+                for queue in queues:
+                    queue.initialize(env)
+                recycle.initialize(env)
+                rx = FromDevice()
+                rx.initialize(env)
+                return PipelineStage(
+                    f"{name}.s{i}", elements, source=source_factory(env),
+                    downstream=queues[0], recycle=recycle, rx=rx,
+                    measure_weight=measure_weight,
+                )
+            if i == n_stages - 1:
+                tx = ToDevice()
+                tx.initialize(env)
+                return PipelineStage(
+                    f"{name}.s{i}", elements, upstream=queues[i - 1],
+                    recycle=recycle, tx=tx, measure_weight=measure_weight,
+                )
+            return PipelineStage(
+                f"{name}.s{i}", elements, upstream=queues[i - 1],
+                downstream=queues[i], measure_weight=measure_weight,
+            )
+
+        runs.append(
+            machine.add_flow(
+                factory, core=cores[i], data_domain=data_domain,
+                measured=(i == n_stages - 1), label=f"{name}.s{i}",
+            )
+        )
+    return runs

@@ -1,0 +1,84 @@
+"""Per-flow pipelines: the paper's "parallel approach".
+
+A :class:`Pipeline` is one flow: a traffic source, a receive element, a
+chain of processing elements, and a transmit element, all executed by a
+single core per packet (Section 2.2 concludes this run-to-completion model
+always beats pipelining for realistic workloads). A Pipeline implements
+the flow protocol the :class:`~repro.hw.machine.Machine` engine expects:
+``run_packet(ctx)`` produces one packet's access program and returns the
+DMA-invalidated lines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..hw.machine import FlowEnv
+from ..mem.access import AccessContext
+from ..net.flowgen import TrafficSource
+from ..net.packet import Packet
+from .element import Element
+from .elements.fromdevice import FromDevice
+from .elements.todevice import ToDevice
+
+
+class Pipeline:
+    """A complete flow: source -> FromDevice -> elements -> ToDevice."""
+
+    def __init__(self, name: str, env: FlowEnv, source: TrafficSource,
+                 elements: Sequence[Element], measure_weight: float = 1.0,
+                 rx: Optional[FromDevice] = None,
+                 tx: Optional[ToDevice] = None):
+        self.name = name
+        self.measure_weight = measure_weight
+        self.source = source
+        self.rx = rx if rx is not None else FromDevice()
+        self.tx = tx if tx is not None else ToDevice()
+        self.elements: List[Element] = list(elements)
+        self.dropped = 0
+        self.rx.initialize(env)
+        self.tx.initialize(env)
+        for element in self.elements:
+            element.initialize(env)
+
+    def attach_run(self, machine, flow_run) -> None:
+        """Forward live run-state bindings to elements that want them."""
+        for element in [self.rx, self.tx, *self.elements]:
+            attach = getattr(element, "attach_run", None)
+            if attach is not None:
+                attach(machine, flow_run)
+
+    def run_packet(self, ctx: AccessContext):
+        """Pull one packet from the source and run it through the chain."""
+        packet = self.source.next_packet()
+        dma = self.rx.receive(ctx, packet)
+        for element in self.elements:
+            result = element.process(ctx, packet)
+            if result is None:
+                self.dropped += 1
+                return dma
+            if isinstance(result, tuple):
+                # Multi-output elements are only meaningful inside a Router;
+                # in a linear pipeline, any port continues the chain.
+                result = result[1]
+            packet = result
+        self.tx.send(ctx, packet)
+        return dma
+
+    def process_one(self, ctx: AccessContext, packet: Packet) -> Optional[Packet]:
+        """Run an externally supplied packet through the element chain only.
+
+        Functional-test helper: no receive/transmit modeling.
+        """
+        for element in self.elements:
+            result = element.process(ctx, packet)
+            if result is None:
+                return None
+            if isinstance(result, tuple):
+                result = result[1]
+            packet = result
+        return packet
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        chain = " -> ".join(e.name for e in self.elements)
+        return f"Pipeline({self.name!r}: FromDevice -> {chain} -> ToDevice)"

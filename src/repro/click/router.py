@@ -1,0 +1,121 @@
+"""Router: a Click-style element configuration graph.
+
+Elements are registered under names and wired port-to-port; a packet
+entering at an element follows the connection graph until it is dropped
+or reaches an element with no outgoing connection (a sink). This is the
+configuration layer the examples use to express multi-path processing
+(e.g. a Classifier steering TCP to one chain and UDP to another); the
+contention experiments use linear :class:`~repro.click.pipeline.Pipeline`
+chains directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..mem.access import AccessContext
+from ..net.packet import Packet
+from .element import Element
+
+
+class Router:
+    """A named-element graph with port-to-port connections."""
+
+    def __init__(self) -> None:
+        self._elements: Dict[str, Element] = {}
+        self._edges: Dict[Tuple[str, int], str] = {}
+
+    # -- configuration ----------------------------------------------------------
+
+    def add(self, name: str, element: Element) -> Element:
+        """Register ``element`` under ``name``."""
+        if name in self._elements:
+            raise ValueError(f"duplicate element name {name!r}")
+        self._elements[name] = element
+        return element
+
+    def connect(self, src: str, dst: str, port: int = 0) -> None:
+        """Wire ``src`` output ``port`` to ``dst`` input."""
+        if src not in self._elements:
+            raise ValueError(f"unknown element {src!r}")
+        if dst not in self._elements:
+            raise ValueError(f"unknown element {dst!r}")
+        n_out = self._elements[src].n_outputs
+        if not 0 <= port < n_out:
+            raise ValueError(f"{src!r} has no output port {port} (has {n_out})")
+        if (src, port) in self._edges:
+            raise ValueError(f"output {src!r}[{port}] already connected")
+        self._edges[(src, port)] = dst
+
+    def element(self, name: str) -> Element:
+        """Look up a registered element."""
+        return self._elements[name]
+
+    def validate(self) -> None:
+        """Check every non-sink output port is connected and the graph is acyclic."""
+        for name, element in self._elements.items():
+            ports = [p for (s, p) in self._edges if s == name]
+            if ports and len(ports) != element.n_outputs:
+                missing = set(range(element.n_outputs)) - set(ports)
+                raise ValueError(f"{name!r} leaves output ports {sorted(missing)} open")
+        # Cycle check by DFS over the port graph.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self._elements}
+
+        def visit(name: str) -> None:
+            color[name] = GRAY
+            for port in range(self._elements[name].n_outputs):
+                nxt = self._edges.get((name, port))
+                if nxt is None:
+                    continue
+                if color[nxt] == GRAY:
+                    raise ValueError(f"configuration cycle through {nxt!r}")
+                if color[nxt] == WHITE:
+                    visit(nxt)
+            color[name] = BLACK
+
+        for name in self._elements:
+            if color[name] == WHITE:
+                visit(name)
+
+    # -- execution -------------------------------------------------------------
+
+    def initialize(self, env) -> None:
+        """Initialize every element against ``env``."""
+        for element in self._elements.values():
+            element.initialize(env)
+
+    def push(self, ctx: AccessContext, packet: Packet,
+             entry: str) -> Optional[Tuple[str, Packet]]:
+        """Run ``packet`` from ``entry`` through the graph.
+
+        Returns ``(final_element_name, packet)`` when the packet comes to
+        rest at a sink (an element with no outgoing connection for the
+        chosen port), or None if some element dropped it.
+        """
+        name = entry
+        hops = 0
+        limit = len(self._elements) + 1
+        while True:
+            if hops > limit:
+                raise RuntimeError("packet looped in configuration")
+            hops += 1
+            element = self._elements[name]
+            result = element.process(ctx, packet)
+            if result is None:
+                return None
+            if isinstance(result, tuple):
+                port, packet = result
+            else:
+                port, packet = 0, result
+            nxt = self._edges.get((name, port))
+            if nxt is None:
+                return name, packet
+            name = nxt
+
+    def graph_summary(self) -> List[str]:
+        """Human-readable edge list."""
+        return [
+            f"{src}[{port}] -> {dst}"
+            for (src, port), dst in sorted(self._edges.items())
+        ]

@@ -1,0 +1,42 @@
+"""The paper's contribution: contention profiling, prediction, scheduling.
+
+* :mod:`profiler` — solo-run profiles (Table 1).
+* :mod:`prediction` — SYN sweeps, sensitivity curves, and the three-step
+  prediction method of Section 4.
+* :mod:`validation` — co-run experiments and prediction-error accounting.
+* :mod:`equation1` — the worst-case drop bound (Section 3.3, Figure 6).
+* :mod:`model` — the Appendix A probabilistic cache-sharing model.
+* :mod:`scheduling` — placement enumeration and the contention-aware
+  scheduling study of Section 5.
+* :mod:`throttling` — aggressiveness containment (Section 4).
+"""
+
+from .profiler import SoloProfile, profile_solo, profile_apps
+from .prediction import SensitivityCurve, ContentionPredictor, sweep_sensitivity
+from .validation import CoRunMeasurement, run_corun, measure_drop
+from .equation1 import worst_case_drop, drop_from_conversion
+from .model import CacheModel
+from .scheduling import PlacementStudy, enumerate_splits
+from .throttling import ThrottledFlow, TwoFacedFlow
+from .capacity import SLA, CapacityPlanner
+
+__all__ = [
+    "SoloProfile",
+    "profile_solo",
+    "profile_apps",
+    "SensitivityCurve",
+    "ContentionPredictor",
+    "sweep_sensitivity",
+    "CoRunMeasurement",
+    "run_corun",
+    "measure_drop",
+    "worst_case_drop",
+    "drop_from_conversion",
+    "CacheModel",
+    "PlacementStudy",
+    "enumerate_splits",
+    "ThrottledFlow",
+    "TwoFacedFlow",
+    "SLA",
+    "CapacityPlanner",
+]

@@ -1,0 +1,84 @@
+"""Tiny ASCII plots for figure series in terminal reports.
+
+The benchmark harness prints each figure's data as numbers; these helpers
+add a quick visual (drop-vs-competition curves, overlayed series) so the
+shape — sharp rise, flat tail, curve ordering — is visible at a glance
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    cell = int((value - lo) / (hi - lo) * cells)
+    return min(cells - 1, max(0, cell))
+
+
+def plot(series: Dict[str, Sequence[Point]], width: int = 64,
+         height: int = 16, x_label: str = "x", y_label: str = "y") -> str:
+    """Render one or more (x, y) series on a shared-axis character grid."""
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(min(ys), 0.0), max(ys)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (name, pts), glyph in zip(sorted(series.items()), GLYPHS * 4):
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = glyph
+    lines = []
+    for i, row in enumerate(grid):
+        label = f"{y_hi:>8.3g}" if i == 0 else (
+            f"{y_lo:>8.3g}" if i == height - 1 else " " * 8)
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<12.3g}{x_label:^{max(0, width - 24)}}"
+                 f"{x_hi:>12.3g}")
+    legend = "   ".join(
+        f"{glyph}={name}"
+        for (name, _), glyph in zip(sorted(series.items()), GLYPHS * 4)
+    )
+    lines.append(f"{'':9}{y_label}; {legend}")
+    return "\n".join(lines)
+
+
+def plot_curve(points: Sequence[Point], name: str = "series",
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """Single-series convenience wrapper."""
+    return plot({name: points}, width=width, height=height,
+                x_label=x_label, y_label=y_label)
+
+
+def bar_chart(values: Dict[str, float], width: int = 50,
+              unit: str = "") -> str:
+    """Horizontal bars, scaled to the largest value."""
+    if not values:
+        raise ValueError("nothing to chart")
+    peak = max(values.values())
+    label_width = max(len(k) for k in values)
+    lines = []
+    for name, value in values.items():
+        filled = 0 if peak <= 0 else int(round(value / peak * width))
+        lines.append(
+            f"{name:<{label_width}} |{'#' * filled:<{width}}| "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)

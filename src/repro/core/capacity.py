@@ -1,0 +1,127 @@
+"""Capacity planning on top of the predictor.
+
+The practical payoff of predictable performance (the paper's motivation:
+operators won't accept "an unlucky configuration could cause unpredictable
+drop ... violations of service-level agreements"): given per-flow-type
+SLAs, decide — without running anything — whether a planned co-location
+meets them, and how many flows of a type a socket can absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .prediction import ContentionPredictor
+
+
+@dataclass(frozen=True)
+class SLA:
+    """A flow type's requirement: a minimum packets/sec."""
+
+    app: str
+    min_throughput: float
+
+    def __post_init__(self) -> None:
+        if self.min_throughput < 0:
+            raise ValueError("SLA throughput cannot be negative")
+
+
+@dataclass
+class FlowPlan:
+    """One planned flow and its predicted outcome."""
+
+    app: str
+    predicted_throughput: float
+    predicted_drop: float
+    sla: Optional[SLA]
+
+    @property
+    def meets_sla(self) -> bool:
+        """True when the predicted throughput satisfies the SLA (if any)."""
+        return (self.sla is None
+                or self.predicted_throughput >= self.sla.min_throughput)
+
+    @property
+    def headroom(self) -> float:
+        """Relative margin over the SLA (negative = violated)."""
+        if self.sla is None or self.sla.min_throughput <= 0:
+            return float("inf")
+        return self.predicted_throughput / self.sla.min_throughput - 1.0
+
+
+@dataclass
+class PlanAssessment:
+    """Predicted outcome of a whole socket's deployment."""
+
+    flows: List[FlowPlan]
+
+    @property
+    def feasible(self) -> bool:
+        """True when every flow in the plan meets its SLA."""
+        return all(flow.meets_sla for flow in self.flows)
+
+    @property
+    def violations(self) -> List[FlowPlan]:
+        """The flows whose SLAs the plan would break."""
+        return [flow for flow in self.flows if not flow.meets_sla]
+
+    @property
+    def worst_headroom(self) -> float:
+        """The tightest SLA margin across the plan."""
+        return min((flow.headroom for flow in self.flows),
+                   default=float("inf"))
+
+
+class CapacityPlanner:
+    """Answer deployment questions from offline profiles alone."""
+
+    def __init__(self, predictor: ContentionPredictor,
+                 slas: Sequence[SLA] = ()):
+        self.predictor = predictor
+        self.slas: Dict[str, SLA] = {sla.app: sla for sla in slas}
+
+    def assess(self, deployment: Sequence[str]) -> PlanAssessment:
+        """Predict every flow's throughput in ``deployment`` (one socket)."""
+        if not deployment:
+            raise ValueError("empty deployment")
+        flows: List[FlowPlan] = []
+        for i, app in enumerate(deployment):
+            competitors = list(deployment[:i]) + list(deployment[i + 1:])
+            drop = self.predictor.predict_drop(app, competitors)
+            throughput = self.predictor.profiles[app].throughput * (1 - drop)
+            flows.append(FlowPlan(
+                app=app, predicted_throughput=throughput,
+                predicted_drop=drop, sla=self.slas.get(app),
+            ))
+        return PlanAssessment(flows=flows)
+
+    def max_coresident(self, target: str, filler: str,
+                       max_slots: int) -> Tuple[int, PlanAssessment]:
+        """Most ``filler`` flows that can join one ``target`` flow.
+
+        Returns ``(n, assessment_at_n)`` where ``n`` is the largest filler
+        count (0..max_slots) keeping every SLA satisfied; the assessment is
+        for that feasible deployment (or the bare target if even one filler
+        violates).
+        """
+        if max_slots < 0:
+            raise ValueError("max_slots cannot be negative")
+        best_n = 0
+        best = self.assess([target])
+        for n in range(1, max_slots + 1):
+            assessment = self.assess([target] + [filler] * n)
+            if not assessment.feasible:
+                break
+            best_n, best = n, assessment
+        return best_n, best
+
+    def rank_deployments(self, candidates: Sequence[Sequence[str]]
+                         ) -> List[Tuple[Sequence[str], PlanAssessment]]:
+        """Feasible candidates first, by descending worst headroom."""
+        assessed = [(tuple(c), self.assess(c)) for c in candidates]
+        return sorted(
+            assessed,
+            key=lambda pair: (not pair[1].feasible,
+                              -pair[1].worst_headroom),
+        )

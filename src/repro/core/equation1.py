@@ -1,0 +1,68 @@
+"""Equation 1: performance drop from hit-to-miss conversion (Section 3.3).
+
+A flow achieving ``h`` cache hits/sec solo, suffering hit-to-miss
+conversion rate ``kappa`` with miss penalty ``delta`` seconds, drops by::
+
+    drop = 1 / (1 + 1 / (delta * kappa * h))
+
+With ``kappa = 1`` this bounds the worst case (Figure 6): a flow's
+worst-case sensitivity depends *only* on its solo hits/sec — the paper's
+argument for hits/sec as the sensitivity metric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..constants import DELTA_NS
+from ..units import NS_PER_SEC
+
+
+def drop_from_conversion(hits_per_sec: float, kappa: float,
+                         delta_ns: float = DELTA_NS) -> float:
+    """Equation 1 for an arbitrary conversion rate ``kappa``."""
+    if hits_per_sec < 0:
+        raise ValueError("hits/sec cannot be negative")
+    if not 0.0 <= kappa <= 1.0:
+        raise ValueError("conversion rate must be in [0, 1]")
+    if delta_ns <= 0:
+        raise ValueError("delta must be positive")
+    delta_seconds = delta_ns / NS_PER_SEC
+    extra = delta_seconds * kappa * hits_per_sec
+    if extra <= 0:
+        return 0.0
+    return 1.0 / (1.0 + 1.0 / extra)
+
+
+def worst_case_drop(hits_per_sec: float, delta_ns: float = DELTA_NS) -> float:
+    """Equation 1 at ``kappa = 1``: the worst possible contention drop."""
+    return drop_from_conversion(hits_per_sec, kappa=1.0, delta_ns=delta_ns)
+
+
+def worst_case_curve(
+    max_hits_per_sec: float,
+    delta_ns: float = DELTA_NS,
+    n_points: int = 61,
+) -> List[Tuple[float, float]]:
+    """A Figure 6 series: (hits/sec, worst-case drop) samples."""
+    if n_points < 2:
+        raise ValueError("need at least two points")
+    if max_hits_per_sec <= 0:
+        raise ValueError("max hits/sec must be positive")
+    step = max_hits_per_sec / (n_points - 1)
+    return [
+        (i * step, worst_case_drop(i * step, delta_ns))
+        for i in range(n_points)
+    ]
+
+
+def figure6_series(
+    max_hits_per_sec: float,
+    deltas_ns: Sequence[float] = (30.0, DELTA_NS, 60.0),
+    n_points: int = 61,
+):
+    """All three delta curves of Figure 6, keyed by delta in ns."""
+    return {
+        delta: worst_case_curve(max_hits_per_sec, delta, n_points)
+        for delta in deltas_ns
+    }

@@ -1,0 +1,95 @@
+"""Appendix A: a simple probabilistic cache-sharing model.
+
+The model explains the *shape* of the hit-to-miss conversion curve (sharp
+rise, then flattening) without platform-specific detail:
+
+* a competing reference evicts a target line with probability
+  ``p_ev = 1/C`` (uniform competitor access over ``C`` cache lines);
+* between two target references to the same chunk, the number of
+  competing references ``Z`` is geometric with success probability
+  ``p_t = (H_t/W) / (H_t/W + R_c)``;
+* so ``P(hit) = p_t / (1 - (1 - p_ev)(1 - p_t))`` and the conversion rate
+  is ``1 - P(hit)``.
+
+Under the equal-sensitivity assumption (target and competitors slow down
+alike), the solo-run rates can be used directly for ``H_t`` and ``R_c`` —
+their ratio is what matters. The paper uses this model for intuition, not
+prediction: it overestimates conversion for non-uniform target access
+(hot trie roots, per-packet bookkeeping lines), which Figure 7 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .equation1 import drop_from_conversion
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """The Appendix A model for one target flow.
+
+    Attributes:
+        cache_lines: shared-cache capacity ``C`` in lines.
+        target_hits_per_sec: ``H_t``, the target's solo cache hits/sec.
+        working_set_chunks: ``W``, the target's cacheable chunks (lines).
+    """
+
+    cache_lines: int
+    target_hits_per_sec: float
+    working_set_chunks: int
+
+    def __post_init__(self) -> None:
+        if self.cache_lines <= 0:
+            raise ValueError("cache must have at least one line")
+        if self.target_hits_per_sec < 0:
+            raise ValueError("hits/sec cannot be negative")
+        if self.working_set_chunks <= 0:
+            raise ValueError("working set must be at least one chunk")
+
+    @property
+    def p_ev(self) -> float:
+        """Probability one competing reference evicts a given cached chunk."""
+        return 1.0 / self.cache_lines
+
+    def p_t(self, competing_refs_per_sec: float) -> float:
+        """Probability the next reference is the target's re-reference."""
+        if competing_refs_per_sec < 0:
+            raise ValueError("competition cannot be negative")
+        target_rate = self.target_hits_per_sec / self.working_set_chunks
+        denom = target_rate + competing_refs_per_sec
+        if denom <= 0:
+            return 1.0
+        return target_rate / denom
+
+    def hit_probability(self, competing_refs_per_sec: float) -> float:
+        """P(hit) for a reference that was a hit during the solo run."""
+        p_t = self.p_t(competing_refs_per_sec)
+        p_ev = self.p_ev
+        denom = 1.0 - (1.0 - p_ev) * (1.0 - p_t)
+        if denom <= 0:
+            return 1.0
+        return p_t / denom
+
+    def conversion_rate(self, competing_refs_per_sec: float) -> float:
+        """The hit-to-miss conversion rate ``kappa`` (Figure 7's estimate)."""
+        return 1.0 - self.hit_probability(competing_refs_per_sec)
+
+    def estimated_drop(self, competing_refs_per_sec: float,
+                       delta_ns: float = None) -> float:
+        """Model conversion rate plugged into Equation 1."""
+        from ..constants import DELTA_NS
+
+        kappa = self.conversion_rate(competing_refs_per_sec)
+        return drop_from_conversion(
+            self.target_hits_per_sec, kappa,
+            DELTA_NS if delta_ns is None else delta_ns,
+        )
+
+    def curve(self, competition_levels: Sequence[float]
+              ) -> List[Tuple[float, float]]:
+        """(competing refs/sec, conversion rate) samples."""
+        return [
+            (refs, self.conversion_rate(refs)) for refs in competition_levels
+        ]

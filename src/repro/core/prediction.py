@@ -1,0 +1,198 @@
+"""The paper's prediction method (Section 4).
+
+1. Measure each flow's solo-run L3 refs/sec.
+2. Co-run the target flow with SYN flows of increasing refs/sec and record
+   its performance drop as a function of the competing refs/sec — the
+   *sensitivity curve*.
+3. Predict the target's drop in any mix as the curve value at the *sum of
+   its competitors' solo refs/sec*.
+
+The method deliberately over-estimates competition (competitors slow down
+under contention and issue fewer refs/sec than solo), but the flat tail of
+the sensitivity curve past the turning point keeps the resulting error
+small — under 3% in the paper. ``predict_drop(..., competing_refs=...)``
+supports the "perfect knowledge" variant of Figure 8(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import (
+    DEFAULT_MEASURE_PACKETS,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_PACKETS,
+)
+from ..hw.counters import performance_drop
+from ..hw.machine import Machine
+from ..hw.topology import PlatformSpec
+from ..apps.registry import app_factory
+from ..apps.synthetic import SWEEP_CPU_OPS, syn_factory
+from .profiler import SoloProfile, profile_apps, profile_solo
+
+
+@dataclass
+class SensitivityCurve:
+    """Drop vs. competing refs/sec for one flow type (one Figure 4 curve)."""
+
+    app: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.points = sorted(self.points)
+        if not self.points or self.points[0][0] > 0:
+            # A flow facing zero competition suffers zero drop by definition.
+            self.points.insert(0, (0.0, 0.0))
+
+    @property
+    def refs(self) -> np.ndarray:
+        """Competing refs/sec coordinates of the curve points."""
+        return np.array([p[0] for p in self.points])
+
+    @property
+    def drops(self) -> np.ndarray:
+        """Drop coordinates of the curve points."""
+        return np.array([p[1] for p in self.points])
+
+    def predict(self, competing_refs_per_sec: float) -> float:
+        """Interpolated drop at ``competing_refs_per_sec`` (clamped at ends)."""
+        if competing_refs_per_sec < 0:
+            raise ValueError("competition cannot be negative")
+        return float(np.interp(competing_refs_per_sec, self.refs, self.drops))
+
+    def turning_point(self, fraction: float = 0.8) -> float:
+        """Competing refs/sec at which the drop reaches ``fraction`` of its max.
+
+        The paper's observation (c): past this point the drop varies little.
+        """
+        max_drop = float(self.drops.max())
+        if max_drop <= 0:
+            return 0.0
+        target = fraction * max_drop
+        refs, drops = self.refs, self.drops
+        for i in range(len(refs)):
+            if drops[i] >= target:
+                if i == 0:
+                    return float(refs[0])
+                # Linear interpolation within the crossing segment.
+                span = drops[i] - drops[i - 1]
+                if span <= 0:
+                    return float(refs[i])
+                t = (target - drops[i - 1]) / span
+                return float(refs[i - 1] + t * (refs[i] - refs[i - 1]))
+        return float(refs[-1])
+
+
+def sweep_sensitivity(
+    app: str,
+    spec: PlatformSpec,
+    seed: int = DEFAULT_SEED,
+    cpu_ops_levels: Sequence[int] = SWEEP_CPU_OPS,
+    n_competitors: int = 5,
+    warmup_packets: int = DEFAULT_WARMUP_PACKETS,
+    measure_packets: int = DEFAULT_MEASURE_PACKETS,
+    solo: Optional[SoloProfile] = None,
+) -> SensitivityCurve:
+    """Step 2 of the method: ramp SYN competitors against ``app``.
+
+    Each level co-runs the target with ``n_competitors`` SYN flows on the
+    same socket; the x coordinate is the competitors' *measured* combined
+    refs/sec, the y coordinate the target's measured drop.
+    """
+    if n_competitors < 1:
+        raise ValueError("need at least one competitor")
+    if n_competitors >= spec.cores_per_socket:
+        raise ValueError("competitors must fit on the target's socket")
+    if solo is None:
+        solo = profile_solo(app, spec, seed=seed,
+                            warmup_packets=warmup_packets,
+                            measure_packets=measure_packets)
+    points: List[Tuple[float, float]] = []
+    for level, cpu_ops in enumerate(cpu_ops_levels):
+        machine = Machine(spec, seed=seed + 7 * level)
+        target = machine.add_flow(app_factory(app), core=0, label=app)
+        syn_labels = []
+        for i in range(n_competitors):
+            run = machine.add_flow(
+                syn_factory(cpu_ops_per_ref=cpu_ops), core=1 + i,
+                label=f"SYN{i}",
+            )
+            syn_labels.append(run.label)
+        result = machine.run(warmup_packets=warmup_packets,
+                             measure_packets=measure_packets)
+        competing = sum(result[lbl].l3_refs_per_sec for lbl in syn_labels)
+        drop = performance_drop(solo.throughput,
+                                result[target.label].packets_per_sec)
+        points.append((competing, drop))
+    return SensitivityCurve(app=app, points=points)
+
+
+class ContentionPredictor:
+    """The full prediction apparatus: solo profiles + sensitivity curves."""
+
+    def __init__(self, profiles: Dict[str, SoloProfile],
+                 curves: Dict[str, SensitivityCurve]):
+        self.profiles = profiles
+        self.curves = curves
+
+    @classmethod
+    def build(cls, apps: Iterable[str], spec: PlatformSpec,
+              seed: int = DEFAULT_SEED,
+              cpu_ops_levels: Sequence[int] = SWEEP_CPU_OPS,
+              n_competitors: int = 5,
+              warmup_packets: int = DEFAULT_WARMUP_PACKETS,
+              measure_packets: int = DEFAULT_MEASURE_PACKETS,
+              ) -> "ContentionPredictor":
+        """Run the full offline profiling pass for ``apps``."""
+        apps = list(apps)
+        profiles = profile_apps(apps, spec, seed=seed,
+                                warmup_packets=warmup_packets,
+                                measure_packets=measure_packets)
+        curves = {
+            app: sweep_sensitivity(
+                app, spec, seed=seed, cpu_ops_levels=cpu_ops_levels,
+                n_competitors=n_competitors, warmup_packets=warmup_packets,
+                measure_packets=measure_packets, solo=profiles[app],
+            )
+            for app in apps
+        }
+        return cls(profiles=profiles, curves=curves)
+
+    # -- prediction -------------------------------------------------------------
+
+    def competing_refs(self, competitors: Sequence[str]) -> float:
+        """Step 1+3 input: sum of the competitors' solo refs/sec."""
+        total = 0.0
+        for app in competitors:
+            try:
+                total += self.profiles[app].l3_refs_per_sec
+            except KeyError:
+                raise KeyError(f"no solo profile for {app!r}") from None
+        return total
+
+    def predict_drop(self, target: str,
+                     competitors: Sequence[str] = (),
+                     competing_refs: Optional[float] = None) -> float:
+        """Predicted drop of ``target`` against ``competitors``.
+
+        Pass ``competing_refs`` to override the solo-profile estimate with
+        the actual competition (the "perfect knowledge" prediction of
+        Figure 8(b)).
+        """
+        try:
+            curve = self.curves[target]
+        except KeyError:
+            raise KeyError(f"no sensitivity curve for {target!r}") from None
+        if competing_refs is None:
+            competing_refs = self.competing_refs(competitors)
+        return curve.predict(competing_refs)
+
+    def predict_throughput(self, target: str,
+                           competitors: Sequence[str] = (),
+                           competing_refs: Optional[float] = None) -> float:
+        """Predicted packets/sec of ``target`` in the mix."""
+        drop = self.predict_drop(target, competitors, competing_refs)
+        return self.profiles[target].throughput * (1.0 - drop)

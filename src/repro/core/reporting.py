@@ -1,0 +1,54 @@
+"""Plain-text table/series formatting for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Iterable[Sequence[float]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned (x, y) pairs."""
+    lines = [f"{name}: {x_label} -> {y_label}"]
+    for point in points:
+        coords = ", ".join(_fmt(v) for v in point)
+        lines.append(f"  ({coords})")
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """A drop/error as a percentage string."""
+    return f"{100.0 * value:.2f}%"
+
+
+def millions(value: float) -> str:
+    """A rate in millions/sec."""
+    return f"{value / 1e6:.2f}M"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 1e6:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)

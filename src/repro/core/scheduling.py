@@ -1,0 +1,170 @@
+"""Contention-aware scheduling study (Section 5).
+
+Given J flows and J cores across two sockets, how much does the
+flow-to-core placement matter? Placements differ only in how flows are
+split across sockets (cores within a socket are symmetric), so the study
+enumerates the distinct 6/6 multiset splits, evaluates the average
+per-flow drop for each (by full simulation or via the predictor), and
+reports the best and worst — whose small difference is the paper's
+argument that contention-aware scheduling "may not be worth the effort".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..constants import (
+    DEFAULT_MEASURE_PACKETS,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_PACKETS,
+)
+from ..hw.counters import performance_drop
+from ..hw.topology import PlatformSpec
+from .prediction import ContentionPredictor
+from .profiler import SoloProfile
+from .validation import run_corun
+
+#: A split: (socket-0 flow names, socket-1 flow names), each sorted.
+Split = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+def enumerate_splits(flows: Sequence[str], per_socket: int) -> List[Split]:
+    """Distinct unordered splits of ``flows`` into two ``per_socket`` groups."""
+    if len(flows) != 2 * per_socket:
+        raise ValueError(
+            f"need exactly {2 * per_socket} flows, got {len(flows)}"
+        )
+    seen: Set[frozenset] = set()
+    out: List[Split] = []
+    indices = range(len(flows))
+    for group in combinations(indices, per_socket):
+        group_set = set(group)
+        left = tuple(sorted(flows[i] for i in group))
+        right = tuple(sorted(flows[i] for i in indices if i not in group_set))
+        key = frozenset((left, right))
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((left, right))
+    return out
+
+
+@dataclass
+class PlacementOutcome:
+    """Evaluation of one split."""
+
+    split: Split
+    per_flow_drop: Dict[str, float]  # label -> drop
+    average_drop: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlacementOutcome({'+'.join(self.split[0])} | "
+            f"{'+'.join(self.split[1])}: avg {self.average_drop:.1%})"
+        )
+
+
+@dataclass
+class StudyResult:
+    """Best/worst placements for one flow combination."""
+
+    outcomes: List[PlacementOutcome]
+
+    @property
+    def best(self) -> PlacementOutcome:
+        """The placement with the lowest average drop."""
+        return min(self.outcomes, key=lambda o: o.average_drop)
+
+    @property
+    def worst(self) -> PlacementOutcome:
+        """The placement with the highest average drop."""
+        return max(self.outcomes, key=lambda o: o.average_drop)
+
+    @property
+    def scheduling_gain(self) -> float:
+        """Overall-performance gain of the best over the worst placement."""
+        return self.worst.average_drop - self.best.average_drop
+
+
+class PlacementStudy:
+    """Evaluate flow-to-core placements for a flow combination."""
+
+    def __init__(self, spec: PlatformSpec,
+                 profiles: Dict[str, SoloProfile],
+                 predictor: Optional[ContentionPredictor] = None,
+                 seed: int = DEFAULT_SEED,
+                 warmup_packets: int = DEFAULT_WARMUP_PACKETS,
+                 measure_packets: int = DEFAULT_MEASURE_PACKETS):
+        if spec.n_sockets != 2:
+            raise ValueError("the placement study assumes two sockets")
+        self.spec = spec
+        self.profiles = profiles
+        self.predictor = predictor
+        self.seed = seed
+        self.warmup_packets = warmup_packets
+        self.measure_packets = measure_packets
+
+    # -- evaluation ------------------------------------------------------------
+
+    def simulate_split(self, split: Split) -> PlacementOutcome:
+        """Full-machine simulation of one split."""
+        placement: List[Tuple[str, int]] = []
+        per_socket = self.spec.cores_per_socket
+        for socket, group in enumerate(split):
+            if len(group) > per_socket:
+                raise ValueError("split larger than a socket")
+            for i, app in enumerate(group):
+                placement.append((app, socket * per_socket + i))
+        corun = run_corun(placement, self.spec, seed=self.seed,
+                          warmup_packets=self.warmup_packets,
+                          measure_packets=self.measure_packets)
+        drops: Dict[str, float] = {}
+        for label, app in corun.apps.items():
+            drops[label] = performance_drop(
+                self.profiles[app].throughput, corun.throughput[label]
+            )
+        avg = sum(drops.values()) / len(drops)
+        return PlacementOutcome(split=split, per_flow_drop=drops,
+                                average_drop=avg)
+
+    def predict_split(self, split: Split) -> PlacementOutcome:
+        """Predictor-based evaluation (no simulation)."""
+        if self.predictor is None:
+            raise RuntimeError("no predictor configured")
+        drops: Dict[str, float] = {}
+        for socket, group in enumerate(split):
+            for i, app in enumerate(group):
+                competitors = list(group)
+                competitors.remove(app)
+                label = f"{app}@{socket * self.spec.cores_per_socket + i}"
+                drops[label] = self.predictor.predict_drop(app, competitors)
+        avg = sum(drops.values()) / len(drops)
+        return PlacementOutcome(split=split, per_flow_drop=drops,
+                                average_drop=avg)
+
+    def run(self, flows: Sequence[str], method: str = "simulate",
+            max_splits: Optional[int] = None) -> StudyResult:
+        """Evaluate every distinct split of ``flows``.
+
+        ``method`` is ``"simulate"`` (ground truth, slow) or ``"predict"``
+        (uses the sensitivity curves, fast). ``max_splits`` caps the number
+        of evaluated splits for large mixed combinations (the extremes of
+        interest are found among all splits by prediction first).
+        """
+        splits = enumerate_splits(flows, self.spec.cores_per_socket)
+        if method == "predict":
+            return StudyResult([self.predict_split(s) for s in splits])
+        if method != "simulate":
+            raise ValueError(f"unknown method {method!r}")
+        if max_splits is not None and len(splits) > max_splits:
+            if self.predictor is None:
+                raise RuntimeError(
+                    "max_splits requires a predictor to pre-rank splits"
+                )
+            ranked = sorted(splits,
+                            key=lambda s: self.predict_split(s).average_drop)
+            half = max(1, max_splits // 2)
+            splits = ranked[:half] + ranked[-half:]
+        return StudyResult([self.simulate_split(s) for s in splits])

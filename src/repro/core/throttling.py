@@ -1,0 +1,124 @@
+"""Aggressiveness containment (Section 4, "Containing hidden aggressiveness").
+
+A flow may behave innocently during offline profiling and aggressively in
+production (the paper's example: an FW-like flow that switches to
+SYN_MAX-style behaviour on a trigger packet). The defense: monitor each
+flow's memory-access rate with hardware counters and slow the flow down
+through its control element whenever it exceeds its profiled rate.
+
+:class:`ThrottledFlow` wraps any flow with that closed loop (it reads the
+flow's live simulated counters). :class:`TwoFacedFlow` is the adversary.
+"""
+
+from __future__ import annotations
+
+from ..mem.access import AccessContext
+
+
+class ThrottledFlow:
+    """Wrap a flow; bound its L3 refs/sec at ``target_refs_per_sec``."""
+
+    def __init__(self, inner, target_refs_per_sec: float,
+                 adjust_every: int = 32, gain: float = 0.6):
+        if target_refs_per_sec <= 0:
+            raise ValueError("target rate must be positive")
+        if adjust_every <= 0:
+            raise ValueError("adjust_every must be positive")
+        self.inner = inner
+        self.name = f"throttled({getattr(inner, 'name', '?')})"
+        self.measure_weight = getattr(inner, "measure_weight", 1.0)
+        self.target_refs_per_sec = target_refs_per_sec
+        self.adjust_every = adjust_every
+        self.gain = gain
+        self.extra_gap = 0.0
+        self.adjustments = 0
+        self._count = 0
+        self._last_refs = 0
+        self._last_clock = 0.0
+        self._fr = None
+        self._freq = 0.0
+
+    def attach_run(self, machine, flow_run) -> None:
+        """Bind to the live run state (counter feedback loop)."""
+        self._fr = flow_run
+        self._freq = machine.spec.freq_hz
+        inner_attach = getattr(self.inner, "attach_run", None)
+        if inner_attach is not None:
+            inner_attach(machine, flow_run)
+
+    def run_packet(self, ctx: AccessContext):
+        """Insert the current throttle delay, then run the inner flow."""
+        gap = int(self.extra_gap)
+        if gap > 0:
+            ctx.compute(gap, max(2, gap // 2))
+        dma = self.inner.run_packet(ctx)
+        self._count += 1
+        if self._fr is not None and self._count % self.adjust_every == 0:
+            self._adjust()
+        return dma
+
+    def _adjust(self) -> None:
+        fr = self._fr
+        d_refs = fr.counters.l3_refs - self._last_refs
+        d_clock = fr.clock - self._last_clock
+        self._last_refs = fr.counters.l3_refs
+        self._last_clock = fr.clock
+        if d_clock <= 0:
+            return
+        rate = d_refs * self._freq / d_clock
+        error = (rate - self.target_refs_per_sec) / self.target_refs_per_sec
+        cycles_per_packet = d_clock / self.adjust_every
+        if error > 0:
+            self.extra_gap += self.gain * error * cycles_per_packet
+        else:
+            self.extra_gap = max(
+                0.0,
+                self.extra_gap + 0.25 * self.gain * error * cycles_per_packet,
+            )
+        self.adjustments += 1
+
+
+class TwoFacedFlow:
+    """A flow that turns aggressive after ``trigger_packets`` packets.
+
+    Until the trigger it runs ``innocent`` (e.g. an FW pipeline — what the
+    profiler saw); afterwards it runs ``aggressive`` (e.g. SYN_MAX). The
+    paper's contrived-but-instructive attacker.
+    """
+
+    def __init__(self, innocent, aggressive, trigger_packets: int):
+        if trigger_packets < 0:
+            raise ValueError("trigger must be non-negative")
+        self.innocent = innocent
+        self.aggressive = aggressive
+        self.trigger_packets = trigger_packets
+        self.name = f"twofaced({getattr(innocent, 'name', '?')})"
+        self.measure_weight = getattr(innocent, "measure_weight", 1.0)
+        self.packets = 0
+        self.triggered = False
+
+    def attach_run(self, machine, flow_run) -> None:
+        """Forward run-state bindings to both personas."""
+        for flow in (self.innocent, self.aggressive):
+            attach = getattr(flow, "attach_run", None)
+            if attach is not None:
+                attach(machine, flow_run)
+
+    def run_packet(self, ctx: AccessContext):
+        """Run the active persona (switching at the trigger)."""
+        self.packets += 1
+        if not self.triggered and self.packets > self.trigger_packets:
+            self.triggered = True
+        active = self.aggressive if self.triggered else self.innocent
+        return active.run_packet(ctx)
+
+
+def throttled_factory(inner_factory, target_refs_per_sec: float,
+                      adjust_every: int = 32, gain: float = 0.6):
+    """Machine-compatible factory wrapping ``inner_factory`` with throttling."""
+
+    def build(env):
+        return ThrottledFlow(inner_factory(env), target_refs_per_sec,
+                             adjust_every=adjust_every, gain=gain)
+
+    return build

@@ -1,0 +1,127 @@
+"""Co-run measurements and prediction validation (Figures 2, 8, 9).
+
+``run_corun`` builds the paper's standard experiment: a target flow plus
+competitors sharing one socket (or an arbitrary placement across both),
+measuring every flow's throughput and L3 refs/sec. ``measure_drop``
+relates a co-run to solo profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..constants import (
+    DEFAULT_MEASURE_PACKETS,
+    DEFAULT_SEED,
+    DEFAULT_WARMUP_PACKETS,
+)
+from ..hw.counters import performance_drop
+from ..hw.machine import Machine, RunResult
+from ..hw.topology import PlatformSpec
+from ..apps.registry import app_factory
+from .profiler import SoloProfile
+
+
+@dataclass
+class CoRunMeasurement:
+    """Outcome of one co-run experiment."""
+
+    #: flow label -> app name
+    apps: Dict[str, str]
+    #: flow label -> measured throughput (packets/sec)
+    throughput: Dict[str, float]
+    #: flow label -> measured L3 refs/sec
+    refs_per_sec: Dict[str, float]
+    result: RunResult
+
+    def drop(self, label: str, solo: SoloProfile) -> float:
+        """Measured drop of ``label`` relative to its solo profile."""
+        return performance_drop(solo.throughput, self.throughput[label])
+
+    def competing_refs(self, exclude: str) -> float:
+        """Measured refs/sec of everyone except ``exclude`` (perfect knowledge)."""
+        return sum(r for lbl, r in self.refs_per_sec.items() if lbl != exclude)
+
+
+def run_corun(
+    placement: Sequence[Tuple[str, int]],
+    spec: PlatformSpec,
+    seed: int = DEFAULT_SEED,
+    warmup_packets: int = DEFAULT_WARMUP_PACKETS,
+    measure_packets: int = DEFAULT_MEASURE_PACKETS,
+    data_domains: Optional[Dict[int, int]] = None,
+) -> CoRunMeasurement:
+    """Run flows placed as ``[(app_name, core), ...]``.
+
+    ``data_domains`` optionally maps a core to the NUMA domain holding that
+    flow's data (for the Figure 3 configurations); the default is local
+    allocation. Flow labels are ``f"{app}@{core}"``.
+    """
+    if not placement:
+        raise ValueError("empty placement")
+    machine = Machine(spec, seed=seed)
+    labels: Dict[str, str] = {}
+    for app, core in placement:
+        domain = None if data_domains is None else data_domains.get(core)
+        run = machine.add_flow(app_factory(app), core=core, data_domain=domain)
+        labels[run.label] = app
+    result = machine.run(warmup_packets=warmup_packets,
+                         measure_packets=measure_packets)
+    return CoRunMeasurement(
+        apps=labels,
+        throughput={lbl: result[lbl].packets_per_sec for lbl in labels},
+        refs_per_sec={lbl: result[lbl].l3_refs_per_sec for lbl in labels},
+        result=result,
+    )
+
+
+def measure_drop(
+    target: str,
+    competitors: Sequence[str],
+    spec: PlatformSpec,
+    solo: SoloProfile,
+    seed: int = DEFAULT_SEED,
+    warmup_packets: int = DEFAULT_WARMUP_PACKETS,
+    measure_packets: int = DEFAULT_MEASURE_PACKETS,
+) -> Tuple[float, CoRunMeasurement]:
+    """The Figure 2 experiment: ``target`` on core 0, competitors beside it.
+
+    Returns ``(measured_drop, measurement)``.
+    """
+    if len(competitors) >= spec.cores_per_socket:
+        raise ValueError("competitors must fit on the target's socket")
+    placement = [(target, 0)] + [
+        (app, core + 1) for core, app in enumerate(competitors)
+    ]
+    corun = run_corun(placement, spec, seed=seed,
+                      warmup_packets=warmup_packets,
+                      measure_packets=measure_packets)
+    target_label = f"{target}@0"
+    return corun.drop(target_label, solo), corun
+
+
+def pairwise_drops(
+    apps: Sequence[str],
+    spec: PlatformSpec,
+    profiles: Dict[str, SoloProfile],
+    n_competitors: int = 5,
+    seed: int = DEFAULT_SEED,
+    warmup_packets: int = DEFAULT_WARMUP_PACKETS,
+    measure_packets: int = DEFAULT_MEASURE_PACKETS,
+) -> Dict[Tuple[str, str], Tuple[float, CoRunMeasurement]]:
+    """All (target, competitor-type) pairs of Figure 2(a).
+
+    Returns ``{(X, Y): (drop of X against 5 Y flows, measurement)}``.
+    """
+    out: Dict[Tuple[str, str], Tuple[float, CoRunMeasurement]] = {}
+    for target in apps:
+        for competitor in apps:
+            drop, corun = measure_drop(
+                target, [competitor] * n_competitors, spec,
+                solo=profiles[target], seed=seed,
+                warmup_packets=warmup_packets,
+                measure_packets=measure_packets,
+            )
+            out[(target, competitor)] = (drop, corun)
+    return out

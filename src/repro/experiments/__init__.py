@@ -1,0 +1,11 @@
+"""One module per table/figure of the paper's evaluation.
+
+Every experiment exposes ``run(config) -> <Result>`` where the result has
+a ``render()`` method producing the table/series the paper reports. The
+benchmark harness under ``benchmarks/`` drives these and prints the
+output; ``EXPERIMENTS.md`` records paper-vs-measured for each.
+"""
+
+from .common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,60 @@
+"""Shared experiment configuration.
+
+Experiments run on a scaled-down platform by default (see
+``PlatformSpec.scaled``): caches, tables, and the traffic address universe
+shrink together, preserving residency ratios and therefore contention
+behaviour, while packet counts stay simulation-tractable. ``scale=1``
+reproduces the full-size platform (slow; hours for the complete suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from ..constants import DEFAULT_SEED
+from ..hw.topology import PlatformSpec
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    scale: int = 8
+    seed: int = DEFAULT_SEED
+    #: Packets for solo-profile runs (warm-up / measured). Warm-up must be
+    #: long enough to populate the scaled data structures and caches.
+    solo_warmup: int = 5000
+    solo_measure: int = 2000
+    #: Packets for co-run experiments. The warm-up matches the solo
+    #: profile's so drops are measured between equally-warm states.
+    corun_warmup: int = 5000
+    corun_measure: int = 1500
+    #: Independent repetitions averaged per measurement (the paper uses 5).
+    repeats: int = 1
+
+    def spec(self) -> PlatformSpec:
+        """The full two-socket platform at this scale."""
+        return PlatformSpec.westmere().scaled(self.scale)
+
+    def socket_spec(self) -> PlatformSpec:
+        """A single-socket platform (cheaper for one-socket experiments)."""
+        return self.spec().single_socket()
+
+    def quicker(self, factor: int = 2) -> "ExperimentConfig":
+        """The same config with packet counts divided by ``factor``."""
+        return replace(
+            self,
+            solo_warmup=max(300, self.solo_warmup // factor),
+            solo_measure=max(300, self.solo_measure // factor),
+            corun_warmup=max(200, self.corun_warmup // factor),
+            corun_measure=max(200, self.corun_measure // factor),
+        )
+
+
+#: Configuration used by the benchmark harness.
+BENCH_CONFIG = ExperimentConfig()
+
+#: Tiny configuration for integration tests.
+TEST_CONFIG = ExperimentConfig(
+    scale=64, solo_warmup=500, solo_measure=500,
+    corun_warmup=300, corun_measure=300,
+)

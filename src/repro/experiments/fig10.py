@@ -1,0 +1,119 @@
+"""Figure 10: the (small) benefit of contention-aware scheduling.
+
+For several 12-flow combinations, evaluate every distinct flow-to-socket
+split, and report the average per-flow drop under the best and worst
+placement. Paper shapes: the realistic maximum gain is ~2% (the 6 MON +
+6 FW combination — an equal mix of the most and least sensitive/aggressive
+types); the adversarial 6 SYN_MAX + 6 FW combination reaches only ~6%;
+for 6 MON + 6 FW the worst placement packs all MON flows on one socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.profiler import SoloProfile, profile_apps
+from ..core.reporting import format_table, pct
+from ..core.scheduling import PlacementStudy, StudyResult
+from .common import ExperimentConfig
+
+#: Flow combinations evaluated (name -> 12 flows).
+DEFAULT_COMBINATIONS: Dict[str, Tuple[str, ...]] = {
+    "6MON+6FW": ("MON",) * 6 + ("FW",) * 6,
+    "6MON+6IP": ("MON",) * 6 + ("IP",) * 6,
+    "6MON+6RE": ("MON",) * 6 + ("RE",) * 6,
+    "6IP+6FW": ("IP",) * 6 + ("FW",) * 6,
+    "6RE+6FW": ("RE",) * 6 + ("FW",) * 6,
+    "6VPN+6FW": ("VPN",) * 6 + ("FW",) * 6,
+    "6SYN_MAX+6FW": ("SYN_MAX",) * 6 + ("FW",) * 6,
+}
+
+
+@dataclass
+class Fig10Result:
+    """Best/worst placement outcomes per combination."""
+
+    studies: Dict[str, StudyResult]
+
+    def gain(self, combination: str) -> float:
+        """Best-vs-worst placement gap for one combination."""
+        return self.studies[combination].scheduling_gain
+
+    def max_realistic_gain(self) -> float:
+        """Largest gain among the non-SYN combinations (paper: ~2%)."""
+        return max(
+            (study.scheduling_gain for name, study in self.studies.items()
+             if "SYN" not in name),
+            default=0.0,
+        )
+
+    def render(self) -> str:
+        """Figure 10(a) and 10(b) tables as text."""
+        rows = []
+        for name, study in self.studies.items():
+            rows.append([
+                name,
+                pct(study.best.average_drop),
+                pct(study.worst.average_drop),
+                pct(study.scheduling_gain),
+            ])
+        table = format_table(
+            ["combination", "best placement", "worst placement", "gain"],
+            rows, title="Figure 10(a): contention-aware scheduling benefit",
+        )
+        per_flow = self.per_flow_table("6MON+6FW")
+        return table + ("\n\n" + per_flow if per_flow else "")
+
+    def per_flow_table(self, combination: str) -> str:
+        """Figure 10(b): per-flow drops under best and worst placement."""
+        study = self.studies.get(combination)
+        if study is None:
+            return ""
+        best, worst = study.best, study.worst
+
+        def cell(outcome, label):
+            # The two placements assign flows to different cores, so a
+            # label may exist in only one of them.
+            drop = outcome.per_flow_drop.get(label)
+            return "--" if drop is None else pct(drop)
+
+        labels = sorted(set(best.per_flow_drop) | set(worst.per_flow_drop),
+                        key=lambda l: (l.split("@")[0],
+                                       int(l.split("@")[1])))
+        rows = [
+            [label, cell(best, label), cell(worst, label)]
+            for label in labels
+        ]
+        return format_table(
+            ["flow", "best placement", "worst placement"],
+            rows, title=f"Figure 10(b): per-flow drops, {combination}",
+        )
+
+
+def run(config: ExperimentConfig,
+        combinations: Optional[Dict[str, Tuple[str, ...]]] = None,
+        profiles: Optional[Dict[str, SoloProfile]] = None,
+        method: str = "simulate") -> Fig10Result:
+    """Evaluate best/worst placements for each combination."""
+    if combinations is None:
+        combinations = DEFAULT_COMBINATIONS
+    spec = config.spec()
+    apps_needed = sorted({app for combo in combinations.values()
+                          for app in combo})
+    if profiles is None:
+        profiles = profile_apps(
+            apps_needed, spec, seed=config.seed,
+            warmup_packets=config.solo_warmup,
+            measure_packets=config.solo_measure,
+            repeats=config.repeats,
+        )
+    study = PlacementStudy(
+        spec, profiles, seed=config.seed,
+        warmup_packets=config.corun_warmup,
+        measure_packets=config.corun_measure,
+    )
+    return Fig10Result(studies={
+        name: study.run(list(combo), method=method)
+        for name, combo in combinations.items()
+    })

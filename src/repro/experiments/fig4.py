@@ -1,0 +1,127 @@
+"""Figure 4: which resource is contended — cache, memory controller, or both.
+
+Reproduces the three configurations of the paper's Figure 3 by placing
+competitor cores and competitor data across the two sockets:
+
+* **cache-only** (3a): competitors run on the target's socket but their
+  data lives in the remote domain — they share the target's L3 but use
+  the other memory controller.
+* **mc-only** (3b): competitors run on the other socket but their data
+  lives in the target's domain — they use the target's memory controller
+  (through QPI) but a different L3.
+* **both** (3c): competitors run on the target's socket with local data.
+
+For each configuration and each realistic flow type, the target co-runs
+with 5 SYN flows of increasing rate; the series is (competing L3 refs/sec,
+target drop). Paper shape: the cache dominates (MON suffers up to ~32%
+cache-only vs ~6% MC-only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..apps.registry import REALISTIC_APPS, app_factory
+from ..apps.synthetic import SWEEP_CPU_OPS, syn_factory
+from ..core.profiler import SoloProfile, profile_apps
+from ..core.reporting import format_series
+from ..hw.counters import performance_drop
+from ..hw.machine import Machine
+from .common import ExperimentConfig
+
+CONFIGURATIONS = ("cache", "mc", "both")
+
+
+def _placement(configuration: str, spec, n_competitors: int):
+    """(competitor cores, competitor data domain) for a Figure 3 config.
+
+    The target always runs on core 0 (socket 0) with local data.
+    """
+    if n_competitors >= spec.cores_per_socket:
+        raise ValueError("competitors must fit on one socket")
+    if configuration == "cache":
+        return list(range(1, 1 + n_competitors)), 1
+    if configuration == "mc":
+        base = spec.cores_per_socket
+        return list(range(base, base + n_competitors)), 0
+    if configuration == "both":
+        return list(range(1, 1 + n_competitors)), 0
+    raise ValueError(f"unknown configuration {configuration!r}")
+
+
+@dataclass
+class Fig4Result:
+    """Per-configuration, per-app (competing refs/sec, drop) series."""
+
+    #: (configuration, app) -> [(competing_refs_per_sec, drop), ...]
+    series: Dict[Tuple[str, str], List[Tuple[float, float]]]
+    profiles: Dict[str, SoloProfile]
+
+    def max_drop(self, configuration: str, app: str) -> float:
+        """Largest drop observed for ``app`` in ``configuration``."""
+        return max((d for _, d in self.series[(configuration, app)]),
+                   default=0.0)
+
+    def cache_dominates(self) -> bool:
+        """The paper's headline: cache-only >> MC-only damage, per app."""
+        return all(
+            self.max_drop("cache", app) >= self.max_drop("mc", app)
+            for app in self.profiles
+        )
+
+    def render(self) -> str:
+        """All Figure 4 series as text."""
+        blocks = []
+        for (configuration, app), points in sorted(self.series.items()):
+            blocks.append(format_series(
+                f"Fig4[{configuration}] {app}",
+                [(x / 1e6, round(100 * y, 2)) for x, y in points],
+                x_label="competing Mrefs/s", y_label="drop %",
+            ))
+        return "\n".join(blocks)
+
+
+def run(config: ExperimentConfig,
+        apps: Sequence[str] = REALISTIC_APPS,
+        configurations: Sequence[str] = CONFIGURATIONS,
+        cpu_ops_levels: Sequence[int] = SWEEP_CPU_OPS,
+        n_competitors: int = 5,
+        profiles: Optional[Dict[str, SoloProfile]] = None) -> Fig4Result:
+    """Sweep SYN competition in each Figure 3 configuration."""
+    spec = config.spec()
+    if spec.n_sockets < 2:
+        raise ValueError("Figure 4 needs the two-socket platform")
+    if profiles is None:
+        profiles = profile_apps(
+            apps, spec, seed=config.seed,
+            warmup_packets=config.solo_warmup,
+            measure_packets=config.solo_measure,
+            repeats=config.repeats,
+        )
+    series: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    for configuration in configurations:
+        cores, data_domain = _placement(configuration, spec, n_competitors)
+        for app in apps:
+            points: List[Tuple[float, float]] = []
+            for level, cpu_ops in enumerate(cpu_ops_levels):
+                machine = Machine(spec, seed=config.seed + 31 * level)
+                target = machine.add_flow(app_factory(app), core=0, label=app)
+                syn_labels = []
+                for i, core in enumerate(cores):
+                    run_ = machine.add_flow(
+                        syn_factory(cpu_ops_per_ref=cpu_ops), core=core,
+                        data_domain=data_domain, label=f"SYN{i}",
+                    )
+                    syn_labels.append(run_.label)
+                result = machine.run(warmup_packets=config.corun_warmup,
+                                     measure_packets=config.corun_measure)
+                competing = sum(
+                    result[lbl].l3_refs_per_sec for lbl in syn_labels
+                )
+                drop = performance_drop(
+                    profiles[app].throughput, result[app].packets_per_sec
+                )
+                points.append((competing, drop))
+            series[(configuration, app)] = sorted(points)
+    return Fig4Result(series=series, profiles=profiles)

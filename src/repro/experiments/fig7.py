@@ -1,0 +1,152 @@
+"""Figure 7: measured vs. model-estimated hit-to-miss conversion (MON).
+
+A MON flow shares the cache with SYN competitors (the cache-only
+configuration of Figure 3(a)); for each competition level we measure the
+hit-to-miss conversion rate — overall, and separately for each MON
+function (``flow_statistics``, ``radix_ip_lookup``, ``check_ip_header``,
+``skb_recycle``) — and compare against the Appendix A analytical model.
+
+Paper shapes: the model reproduces the *shape* (sharp rise then plateau)
+but overestimates the value; ``flow_statistics`` (uniform table access)
+converts almost fully and matches the model; ``check_ip_header`` and
+``skb_recycle`` (per-packet hot lines) barely convert; the radix lookup
+falls in between (hot top levels, cold deep levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..apps.registry import app_factory
+from ..apps.synthetic import SWEEP_CPU_OPS, syn_factory
+from ..core.model import CacheModel
+from ..core.reporting import format_series
+from ..hw.machine import Machine
+from .common import ExperimentConfig
+
+#: The Figure 7 function breakdown.
+FUNCTIONS = ("flow_statistics", "radix_ip_lookup", "check_ip_header",
+             "skb_recycle")
+
+
+def mon_working_set_lines(spec, seed: int) -> int:
+    """Cacheable chunks W of a MON flow (the model's working-set size).
+
+    Instantiates a MON pipeline and sums the cache lines of its uniformly
+    accessed structures (routing trie + NetFlow buckets and entries).
+    """
+    machine = Machine(spec, seed=seed)
+    fr = machine.add_flow(app_factory("MON"), core=0, label="probe")
+    lines = 0
+    for element in fr.flow.elements:
+        for attr in ("region", "buckets_region"):
+            region = getattr(element, attr, None)
+            if region is not None:
+                lines += region.n_lines
+    return lines
+
+
+def conversion(solo_rate: float, corun_rate: float) -> float:
+    """Hit-to-miss conversion from solo/co-run hit rates (clamped)."""
+    if solo_rate <= 0:
+        return 0.0
+    return min(1.0, max(0.0, 1.0 - corun_rate / solo_rate))
+
+
+@dataclass
+class Fig7Result:
+    """Measured and model conversion-rate series."""
+
+    #: [(competing refs/sec, overall measured conversion)]
+    measured: List[Tuple[float, float]]
+    #: function name -> [(competing refs/sec, conversion)]
+    per_function: Dict[str, List[Tuple[float, float]]]
+    #: [(competing refs/sec, model conversion)]
+    model: List[Tuple[float, float]]
+    working_set_lines: int
+
+    def render(self) -> str:
+        """Measured, model, and per-function series as text."""
+        blocks = [format_series(
+            "MON (measured)",
+            [(x / 1e6, round(100 * y, 1)) for x, y in self.measured],
+            x_label="competing Mrefs/s", y_label="conversion %",
+        ), format_series(
+            "MON (estimated, Appendix A model)",
+            [(x / 1e6, round(100 * y, 1)) for x, y in self.model],
+            x_label="competing Mrefs/s", y_label="conversion %",
+        )]
+        for fn, pts in self.per_function.items():
+            blocks.append(format_series(
+                fn, [(x / 1e6, round(100 * y, 1)) for x, y in pts],
+                x_label="competing Mrefs/s", y_label="conversion %",
+            ))
+        return "\n".join(blocks)
+
+    def model_overestimates(self) -> bool:
+        """The paper's observation: estimated >= measured at high competition."""
+        if not self.measured or not self.model:
+            return False
+        return self.model[-1][1] >= self.measured[-1][1] - 0.05
+
+
+def run(config: ExperimentConfig,
+        cpu_ops_levels: Sequence[int] = SWEEP_CPU_OPS,
+        n_competitors: int = 5,
+        app: str = "MON") -> Fig7Result:
+    """Measure conversion for ``app`` vs. SYN in the cache-only setup."""
+    spec = config.spec()
+    if spec.n_sockets < 2:
+        raise ValueError("the cache-only configuration needs two sockets")
+    # Solo tag hit rates come from a dedicated solo run.
+    machine = Machine(spec, seed=config.seed)
+    fr = machine.add_flow(app_factory(app), core=0, label=app)
+    solo_stats = machine.run(
+        warmup_packets=config.solo_warmup,
+        measure_packets=config.solo_measure,
+    )[app]
+    solo_hit_rates = {fn: solo_stats.tag_hit_rate(fn) for fn in FUNCTIONS}
+    solo_overall = solo_stats.l3_hit_rate
+
+    measured: List[Tuple[float, float]] = []
+    per_function: Dict[str, List[Tuple[float, float]]] = {
+        fn: [] for fn in FUNCTIONS
+    }
+    for level, cpu_ops in enumerate(cpu_ops_levels):
+        machine = Machine(spec, seed=config.seed + 17 * level)
+        machine.add_flow(app_factory(app), core=0, label=app)
+        syn_labels = []
+        for i in range(n_competitors):
+            # Cache-only: competitors beside the target, data remote.
+            run_ = machine.add_flow(
+                syn_factory(cpu_ops_per_ref=cpu_ops), core=1 + i,
+                data_domain=1, label=f"SYN{i}",
+            )
+            syn_labels.append(run_.label)
+        result = machine.run(warmup_packets=config.corun_warmup,
+                             measure_packets=config.corun_measure)
+        competing = sum(result[lbl].l3_refs_per_sec for lbl in syn_labels)
+        stats = result[app]
+        measured.append((competing, conversion(solo_overall,
+                                               stats.l3_hit_rate)))
+        for fn in FUNCTIONS:
+            per_function[fn].append(
+                (competing,
+                 conversion(solo_hit_rates[fn], stats.tag_hit_rate(fn)))
+            )
+    measured.sort()
+    for fn in FUNCTIONS:
+        per_function[fn].sort()
+
+    working_set = mon_working_set_lines(spec, config.seed)
+    model = CacheModel(
+        cache_lines=spec.l3_lines,
+        target_hits_per_sec=solo_stats.l3_hits_per_sec,
+        working_set_chunks=working_set,
+    )
+    model_points = [
+        (refs, model.conversion_rate(refs)) for refs, _ in measured
+    ]
+    return Fig7Result(measured=measured, per_function=per_function,
+                      model=model_points, working_set_lines=working_set)

@@ -1,0 +1,79 @@
+"""Figure 9: prediction for a mixed workload.
+
+The paper's 12-flow mix — 2 MON, 2 VPN, 1 FW, 1 RE per processor — with
+measured and predicted drop for every flow. Paper shape: maximum absolute
+error ~1.3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.prediction import ContentionPredictor
+from ..core.reporting import format_table, pct
+from ..core.validation import run_corun
+from ..hw.counters import performance_drop
+from .common import ExperimentConfig
+
+#: The paper's per-socket mix.
+SOCKET_MIX = ("MON", "MON", "VPN", "VPN", "FW", "RE")
+
+
+@dataclass
+class Fig9Result:
+    """Per-flow measured vs. predicted drops for the mixed workload."""
+
+    #: [(label, app, measured, predicted)]
+    rows: List[Tuple[str, str, float, float]]
+
+    def max_abs_error(self) -> float:
+        """Largest |predicted - measured| across the mix."""
+        return max(abs(p - m) for _, _, m, p in self.rows)
+
+    def mean_abs_error(self) -> float:
+        """Mean |predicted - measured| across the mix."""
+        return sum(abs(p - m) for _, _, m, p in self.rows) / len(self.rows)
+
+    def render(self) -> str:
+        """The Figure 9 table as text."""
+        table_rows = [
+            [label, pct(measured), pct(predicted), pct(predicted - measured)]
+            for label, _, measured, predicted in self.rows
+        ]
+        return format_table(
+            ["flow", "measured drop", "predicted drop", "error"],
+            table_rows, title="Figure 9: mixed workload",
+        )
+
+
+def run(config: ExperimentConfig,
+        predictor: ContentionPredictor,
+        socket_mix: Sequence[str] = SOCKET_MIX) -> Fig9Result:
+    """Run the 12-flow mix and compare measured vs. predicted drops."""
+    spec = config.spec()
+    if spec.n_sockets != 2:
+        raise ValueError("the mixed workload uses both sockets")
+    if len(socket_mix) > spec.cores_per_socket:
+        raise ValueError("mix does not fit a socket")
+    placement = []
+    for socket in range(2):
+        for i, app in enumerate(socket_mix):
+            placement.append((app, socket * spec.cores_per_socket + i))
+    corun = run_corun(placement, spec, seed=config.seed,
+                      warmup_packets=config.corun_warmup,
+                      measure_packets=config.corun_measure)
+    rows: List[Tuple[str, str, float, float]] = []
+    per_socket = spec.cores_per_socket
+    for app, core in placement:
+        label = f"{app}@{core}"
+        solo = predictor.profiles[app]
+        measured = performance_drop(solo.throughput, corun.throughput[label])
+        socket = core // per_socket
+        competitors = [
+            other for other, other_core in placement
+            if other_core != core and other_core // per_socket == socket
+        ]
+        predicted = predictor.predict_drop(app, competitors)
+        rows.append((label, app, measured, predicted))
+    return Fig9Result(rows=rows)

@@ -1,0 +1,103 @@
+"""Section 6: where refs/sec stops being a sufficient aggressiveness metric.
+
+The paper scopes its result to saturated-cache workloads and notes: "If
+the working-set sizes of the flows are close to their fair share of the
+cache, then considering only the competing cache refs/sec may not be
+sufficient to characterize a workload's aggressiveness."
+
+This experiment makes that boundary concrete: a MON target co-runs with
+SYN_MAX competitors whose arrays shrink from the standard profiling size
+down to a sliver of the cache. Small-array competitors reference the
+cache *faster* (their accesses hit), yet damage the target *less* (hits
+do not evict) — the refs/sec-based prediction overestimates their damage,
+exactly as Section 6 warns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..apps.registry import app_factory
+from ..apps.synthetic import syn_factory
+from ..constants import SYN_ARRAY_FRACTION
+from ..core.prediction import SensitivityCurve, sweep_sensitivity
+from ..core.profiler import SoloProfile, profile_solo
+from ..core.reporting import format_table, pct
+from ..hw.counters import performance_drop
+from ..hw.machine import Machine
+from .common import ExperimentConfig
+
+#: Competitor working sets as fractions of the L3, from "sliver" to the
+#: standard profiling size.
+DEFAULT_FRACTIONS = (0.05, 0.1, 0.2, SYN_ARRAY_FRACTION)
+
+
+@dataclass
+class LimitsResult:
+    """Per-fraction competitor behaviour vs. the refs/sec prediction."""
+
+    #: [(fraction, competing refs/sec, measured drop, predicted drop)]
+    rows: List[Tuple[float, float, float, float]]
+    target: str
+
+    def overestimate(self, fraction: float) -> float:
+        """Predicted minus measured drop for a working-set fraction."""
+        for f, _, measured, predicted in self.rows:
+            if f == fraction:
+                return predicted - measured
+        raise KeyError(fraction)
+
+    def render(self) -> str:
+        """The Section 6 table as text."""
+        rows = [
+            [f"{fraction:.2f} x L3", f"{refs / 1e6:.1f}M", pct(measured),
+             pct(predicted), pct(predicted - measured)]
+            for fraction, refs, measured, predicted in self.rows
+        ]
+        return format_table(
+            ["competitor working set", "competing refs/s",
+             f"{self.target} drop (measured)", "drop (refs/s prediction)",
+             "overestimate"],
+            rows,
+            title="Section 6: small working sets break the refs/sec metric",
+        )
+
+
+def run(config: ExperimentConfig, target: str = "MON",
+        fractions: Tuple[float, ...] = DEFAULT_FRACTIONS,
+        n_competitors: int = 5,
+        solo: Optional[SoloProfile] = None,
+        curve: Optional[SensitivityCurve] = None) -> LimitsResult:
+    """Measure drop vs. competitor working-set size at SYN_MAX rate."""
+    spec = config.socket_spec()
+    if solo is None:
+        solo = profile_solo(target, spec, seed=config.seed,
+                            warmup_packets=config.solo_warmup,
+                            measure_packets=config.solo_measure)
+    if curve is None:
+        curve = sweep_sensitivity(
+            target, spec, seed=config.seed,
+            warmup_packets=config.corun_warmup,
+            measure_packets=config.corun_measure, solo=solo,
+        )
+    rows: List[Tuple[float, float, float, float]] = []
+    for fraction in fractions:
+        array_bytes = max(4096, int(spec.l3_size * fraction))
+        machine = Machine(spec, seed=config.seed)
+        machine.add_flow(app_factory(target), core=0, label=target)
+        labels = []
+        for i in range(n_competitors):
+            fr = machine.add_flow(
+                syn_factory(cpu_ops_per_ref=0, array_bytes=array_bytes),
+                core=1 + i, label=f"SYN{i}",
+            )
+            labels.append(fr.label)
+        result = machine.run(warmup_packets=config.corun_warmup,
+                             measure_packets=config.corun_measure)
+        competing = sum(result[lbl].l3_refs_per_sec for lbl in labels)
+        measured = performance_drop(solo.throughput,
+                                    result[target].packets_per_sec)
+        predicted = curve.predict(competing)
+        rows.append((fraction, competing, measured, predicted))
+    return LimitsResult(rows=rows, target=target)

@@ -1,0 +1,84 @@
+"""Section 6: multiple flows per core and the limits of L3-only prediction.
+
+Two flows time-sharing a core would, under pure time-slicing, each run at
+half their solo rate (aggregate = one solo rate). In reality their data
+structures fight over the core's private L1/L2 between turns, so the
+aggregate falls short — a slowdown invisible to a predictor that only
+reasons about shared-L3 references (the target sees *zero* L3
+competitors here; every loss is private-cache interference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..apps.registry import app_factory
+from ..click.multiflow import shared_core_factory
+from ..core.profiler import profile_solo
+from ..core.reporting import format_table, pct
+from ..hw.machine import Machine
+from .common import ExperimentConfig
+
+
+@dataclass
+class MultiflowResult:
+    """Aggregate throughput of co-scheduled flows vs. the time-slice ideal."""
+
+    #: [(mix label, ideal aggregate pps, measured aggregate pps)]
+    rows: List[Tuple[str, float, float]]
+
+    def shortfall(self, label: str) -> float:
+        """Fraction of the time-slicing ideal lost to L1/L2 interference."""
+        for row_label, ideal, measured in self.rows:
+            if row_label == label:
+                return 1.0 - measured / ideal if ideal else 0.0
+        raise KeyError(label)
+
+    def render(self) -> str:
+        """The core-sharing table as text."""
+        rows = [
+            [label, f"{ideal:,.0f}", f"{measured:,.0f}",
+             pct(1.0 - measured / ideal if ideal else 0.0)]
+            for label, ideal, measured in self.rows
+        ]
+        return format_table(
+            ["core mix", "time-slice ideal pps", "measured pps",
+             "L1/L2 interference loss"],
+            rows,
+            title="Section 6: flows sharing one core",
+        )
+
+
+def run(config: ExperimentConfig,
+        mixes: Tuple[Tuple[str, ...], ...] = (("MON", "MON"),
+                                              ("MON", "IP"),
+                                              ("MON", "FW"))) -> MultiflowResult:
+    """Run each mix time-shared on a single otherwise-idle core."""
+    spec = config.socket_spec()
+    solos = {}
+    rows: List[Tuple[str, float, float]] = []
+    for mix in mixes:
+        for app in mix:
+            if app not in solos:
+                solos[app] = profile_solo(
+                    app, spec, seed=config.seed,
+                    warmup_packets=config.solo_warmup,
+                    measure_packets=config.solo_measure,
+                ).throughput
+        # Pure time-slicing: each packet turn costs 1/solo seconds, so the
+        # aggregate rate is the harmonic mean of the member rates (times
+        # the member count over count: n / sum(1/r_i) * ... for round-robin
+        # one-packet turns the aggregate is n / sum(1/r_i)).
+        ideal = len(mix) / sum(1.0 / solos[app] for app in mix)
+        machine = Machine(spec, seed=config.seed)
+        label = "+".join(mix)
+        machine.add_flow(shared_core_factory(
+            [app_factory(app) for app in mix], name=label,
+        ), core=0, label=label)
+        stats = machine.run(
+            warmup_packets=config.corun_warmup * len(mix),
+            measure_packets=config.corun_measure * len(mix),
+        )[label]
+        rows.append((label, ideal, stats.packets_per_sec))
+    return MultiflowResult(rows=rows)

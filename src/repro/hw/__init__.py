@@ -1,0 +1,26 @@
+"""Simulated hardware platform: caches, memory controllers, QPI, cores, NICs.
+
+The centerpiece is :class:`~repro.hw.machine.Machine`, an event-driven
+timing simulator of the paper's two-socket Westmere server. Co-running
+flows' memory references interleave in the shared last-level cache and at
+the memory controllers, producing the contention effects the paper studies.
+"""
+
+from .cache import SetAssociativeCache
+from .dram import MemoryController
+from .interconnect import QPILink
+from .topology import PlatformSpec
+from .counters import CoreCounters, FlowStats
+from .machine import Machine, FlowRun, RunResult
+
+__all__ = [
+    "SetAssociativeCache",
+    "MemoryController",
+    "QPILink",
+    "PlatformSpec",
+    "CoreCounters",
+    "FlowStats",
+    "Machine",
+    "FlowRun",
+    "RunResult",
+]

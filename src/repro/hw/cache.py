@@ -1,0 +1,116 @@
+"""Set-associative LRU cache model.
+
+Each cache set is a plain Python list of line indices ordered LRU-first /
+MRU-last; a hit moves the line to the back, a miss appends it and evicts
+the front when the set overflows. The timing engine in
+:mod:`repro.hw.machine` reaches into ``sets`` / ``set_mask`` / ``ways``
+directly for speed; this class is the single owner of that layout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..constants import CACHE_LINE
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache indexed by global cache-line number."""
+
+    __slots__ = ("name", "size", "ways", "n_sets", "sets", "hits", "misses")
+
+    def __init__(self, size: int, ways: int, name: str = "cache",
+                 line_size: int = CACHE_LINE):
+        if size <= 0 or ways <= 0:
+            raise ValueError("cache size and associativity must be positive")
+        if size % (ways * line_size):
+            raise ValueError(
+                f"{name}: size {size} not divisible by ways*line ({ways}*{line_size})"
+            )
+        n_sets = size // (ways * line_size)
+        self.name = name
+        self.size = size
+        self.ways = ways
+        self.n_sets = n_sets
+        self.sets: List[List[int]] = [[] for _ in range(n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # -- operations ----------------------------------------------------------
+
+    def access(self, line: int) -> bool:
+        """Reference ``line``: returns True on hit. Fills (and evicts) on miss."""
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        s.append(line)
+        if len(s) > self.ways:
+            s.pop(0)
+        return False
+
+    def fill(self, line: int) -> Optional[int]:
+        """Insert ``line`` as MRU without counting a reference.
+
+        Returns the evicted line, or None.
+        """
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+            return None
+        s.append(line)
+        if len(s) > self.ways:
+            return s.pop(0)
+        return None
+
+    def probe(self, line: int) -> bool:
+        """True if ``line`` is resident; does not touch LRU state or counters."""
+        return line in self.sets[line % self.n_sets]
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if present (models DMA writes from the NIC)."""
+        s = self.sets[line % self.n_sets]
+        if line in s:
+            s.remove(line)
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache and reset statistics."""
+        for s in self.sets:
+            s.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.n_sets * self.ways
+
+    def occupancy(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self.sets)
+
+    def resident_lines(self) -> List[int]:
+        """All resident line indices (test/debug helper)."""
+        out: List[int] = []
+        for s in self.sets:
+            out.extend(s)
+        return out
+
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when never accessed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SetAssociativeCache({self.name!r}, size={self.size}, "
+            f"ways={self.ways}, sets={self.n_sets})"
+        )

@@ -1,0 +1,218 @@
+"""Simulated performance counters.
+
+Mirrors how the paper measures (Oprofile, Section 2.1): per-core counts of
+instructions, L2 hits, L3 references and misses, from which the Table 1
+columns and the refs/sec / hits/sec rates of Sections 3-4 are derived.
+Counters are additionally broken down by reference *tag* (the function
+that issued the reference) to reproduce Figure 7's per-function
+hit-to-miss conversion rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..mem.access import TAGS
+from ..units import per_second
+
+
+class CoreCounters:
+    """Raw event counts for one core. Monotonic within a run."""
+
+    __slots__ = (
+        "cycles", "instructions", "packets",
+        "l1_hits", "l2_hits", "l3_refs", "l3_hits", "l3_misses",
+        "remote_refs", "mc_wait_cycles", "gap_cycles",
+        "tag_refs", "tag_hits",
+    )
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.instructions = 0
+        self.packets = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l3_refs = 0
+        self.l3_hits = 0
+        self.l3_misses = 0
+        self.remote_refs = 0
+        self.mc_wait_cycles = 0.0
+        self.gap_cycles = 0.0
+        n = len(TAGS)
+        self.tag_refs: List[int] = [0] * n
+        self.tag_hits: List[int] = [0] * n
+
+    def _grow_tags(self) -> None:
+        """Extend tag arrays if tags were registered after construction."""
+        n = len(TAGS)
+        if len(self.tag_refs) < n:
+            self.tag_refs.extend([0] * (n - len(self.tag_refs)))
+            self.tag_hits.extend([0] * (n - len(self.tag_hits)))
+
+    def copy(self) -> "CoreCounters":
+        """A snapshot of the current values."""
+        snap = CoreCounters.__new__(CoreCounters)
+        for field in ("cycles", "instructions", "packets", "l1_hits", "l2_hits",
+                      "l3_refs", "l3_hits", "l3_misses", "remote_refs",
+                      "mc_wait_cycles", "gap_cycles"):
+            setattr(snap, field, getattr(self, field))
+        snap.tag_refs = list(self.tag_refs)
+        snap.tag_hits = list(self.tag_hits)
+        return snap
+
+    def delta(self, earlier: "CoreCounters") -> "CoreCounters":
+        """Counts accumulated since the ``earlier`` snapshot."""
+        self._grow_tags()
+        earlier._grow_tags()
+        out = CoreCounters.__new__(CoreCounters)
+        for field in ("cycles", "instructions", "packets", "l1_hits", "l2_hits",
+                      "l3_refs", "l3_hits", "l3_misses", "remote_refs",
+                      "mc_wait_cycles", "gap_cycles"):
+            setattr(out, field, getattr(self, field) - getattr(earlier, field))
+        out.tag_refs = [a - b for a, b in zip(self.tag_refs, earlier.tag_refs)]
+        out.tag_hits = [a - b for a, b in zip(self.tag_hits, earlier.tag_hits)]
+        return out
+
+
+class FlowStats:
+    """Derived, rate-style statistics over one flow's measurement window."""
+
+    def __init__(self, counts: CoreCounters, freq_hz: float,
+                 latencies: Optional[List[float]] = None):
+        self.counts = counts
+        self.freq_hz = freq_hz
+        #: Per-packet completion latencies (cycles), when recorded.
+        self.latencies = latencies
+
+    # -- throughput ----------------------------------------------------------
+
+    @property
+    def packets(self) -> int:
+        return self.counts.packets
+
+    @property
+    def cycles(self) -> float:
+        return self.counts.cycles
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock duration of the window."""
+        return self.counts.cycles / self.freq_hz
+
+    @property
+    def packets_per_sec(self) -> float:
+        return per_second(self.counts.packets, self.counts.cycles, self.freq_hz)
+
+    @property
+    def throughput(self) -> float:
+        """Alias for packets/sec — the paper's performance metric."""
+        return self.packets_per_sec
+
+    # -- Table 1 columns -----------------------------------------------------
+
+    @property
+    def cycles_per_packet(self) -> float:
+        return self.counts.cycles / self.counts.packets if self.counts.packets else 0.0
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        if not self.counts.instructions:
+            return 0.0
+        return self.counts.cycles / self.counts.instructions
+
+    @property
+    def l3_refs_per_sec(self) -> float:
+        return per_second(self.counts.l3_refs, self.counts.cycles, self.freq_hz)
+
+    @property
+    def l3_hits_per_sec(self) -> float:
+        return per_second(self.counts.l3_hits, self.counts.cycles, self.freq_hz)
+
+    @property
+    def l3_misses_per_sec(self) -> float:
+        return per_second(self.counts.l3_misses, self.counts.cycles, self.freq_hz)
+
+    @property
+    def l3_refs_per_packet(self) -> float:
+        return self.counts.l3_refs / self.counts.packets if self.counts.packets else 0.0
+
+    @property
+    def l3_misses_per_packet(self) -> float:
+        return self.counts.l3_misses / self.counts.packets if self.counts.packets else 0.0
+
+    @property
+    def l3_hits_per_packet(self) -> float:
+        return self.counts.l3_hits / self.counts.packets if self.counts.packets else 0.0
+
+    @property
+    def l2_hits_per_packet(self) -> float:
+        return self.counts.l2_hits / self.counts.packets if self.counts.packets else 0.0
+
+    @property
+    def l3_hit_rate(self) -> float:
+        """Fraction of L3 references that hit."""
+        return self.counts.l3_hits / self.counts.l3_refs if self.counts.l3_refs else 0.0
+
+    # -- latency distribution (when recorded) ----------------------------------
+
+    def latency_percentile(self, q: float) -> float:
+        """Per-packet latency percentile in cycles (q in [0, 100]).
+
+        Requires the run to have been started with
+        ``Machine(record_latencies=True)``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.latencies:
+            raise ValueError("latencies were not recorded for this run")
+        ordered = sorted(self.latencies)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q / 100.0 * (len(ordered) - 1)
+        lo = int(position)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = position - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def latency_percentile_ns(self, q: float) -> float:
+        """Per-packet latency percentile in nanoseconds."""
+        return self.latency_percentile(q) / self.freq_hz * 1e9
+
+    # -- per-function breakdown (Figure 7) ------------------------------------
+
+    def tag_hit_rate(self, tag_name: str) -> float:
+        """L3 hit rate of references issued by function ``tag_name``."""
+        tag = TAGS.register(tag_name)
+        self.counts._grow_tags()
+        refs = self.counts.tag_refs[tag]
+        return self.counts.tag_hits[tag] / refs if refs else 0.0
+
+    def tag_refs(self, tag_name: str) -> int:
+        """Number of L3 references issued by function ``tag_name``."""
+        tag = TAGS.register(tag_name)
+        self.counts._grow_tags()
+        return self.counts.tag_refs[tag]
+
+    def tag_breakdown(self) -> Dict[str, float]:
+        """Hit rate per tag name, for tags that issued any references."""
+        self.counts._grow_tags()
+        out: Dict[str, float] = {}
+        for tag, refs in enumerate(self.counts.tag_refs):
+            if refs:
+                out[TAGS.name(tag)] = self.counts.tag_hits[tag] / refs
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlowStats(pps={self.packets_per_sec:.3g}, "
+            f"cpp={self.cycles_per_packet:.1f}, "
+            f"l3refs/s={self.l3_refs_per_sec:.3g}, "
+            f"l3hits/s={self.l3_hits_per_sec:.3g})"
+        )
+
+
+def performance_drop(solo: float, corun: float) -> float:
+    """The paper's drop metric: ``(tau_s - tau_c) / tau_s``. 0 when solo is 0."""
+    if solo <= 0:
+        return 0.0
+    return (solo - corun) / solo

@@ -1,0 +1,32 @@
+"""QuickPath interconnect model.
+
+Remote memory accesses (a core on socket A filling a line homed on socket
+B's memory controller) pay a fixed extra latency and occupy the QPI link,
+which queues under load like the memory controller does (same
+windowed-utilization model, see :mod:`repro.hw.dram`). The paper's
+production configuration avoids the interconnect entirely through
+NUMA-local allocation (Section 2.2); the Figure 3 configurations use it
+deliberately to isolate memory-controller contention from cache contention.
+"""
+
+from __future__ import annotations
+
+from .dram import UtilizationQueue
+
+
+class QPILink(UtilizationQueue):
+    """Bidirectional point-to-point link between the two sockets."""
+
+    __slots__ = ("extra_cycles", "transfers")
+
+    def __init__(self, extra_cycles: float, service_cycles: float):
+        if extra_cycles < 0:
+            raise ValueError("extra latency cannot be negative")
+        super().__init__(service_cycles)
+        self.extra_cycles = extra_cycles
+        self.transfers = 0
+
+    def transfer(self, now: float) -> float:
+        """Move one line across the link at ``now``; returns added latency."""
+        self.transfers += 1
+        return self.request(now) + self.extra_cycles

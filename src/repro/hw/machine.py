@@ -1,0 +1,424 @@
+"""The simulated machine and its event-driven timing engine.
+
+A :class:`Machine` hosts one flow per core (the paper's configuration,
+Section 2.2). Each flow repeatedly produces per-packet *access programs*
+(via its application's functional layer) which the engine replays against
+the core's private L1/L2, the socket's shared L3, and the NUMA-aware
+memory controllers. Cores are interleaved at memory-reference granularity
+by always advancing the core with the smallest local clock, so co-runners'
+references contend in the shared cache exactly as on real hardware.
+
+Placement is explicit: ``add_flow(factory, core=..., data_domain=...)``
+controls both which socket executes a flow and which memory domain holds
+its data, which is how the three configurations of the paper's Figure 3
+(cache-only, memory-controller-only, and combined contention) are built.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional
+
+from ..constants import CACHE_LINE_BITS, DEFAULT_SEED, NUMA_DOMAIN_SHIFT
+from ..mem.access import AccessContext, TAGS
+from ..mem.allocator import AddressSpace
+from .cache import SetAssociativeCache
+from .counters import CoreCounters, FlowStats
+from .dram import MemoryController
+from .interconnect import QPILink
+from .topology import PlatformSpec
+
+#: Shift converting a global line index to its NUMA domain.
+_DOMAIN_LINE_SHIFT = NUMA_DOMAIN_SHIFT - CACHE_LINE_BITS
+
+#: Safety valve: abort runs that exceed this many memory references.
+MAX_EVENTS = 400_000_000
+
+
+@dataclass
+class FlowEnv:
+    """Everything an application factory needs to build a flow instance."""
+
+    space: AddressSpace
+    domain: int
+    spec: PlatformSpec
+    rng: random.Random
+
+
+class FlowRun:
+    """Run state of one flow pinned to one core."""
+
+    __slots__ = (
+        "index", "label", "flow", "core", "socket", "data_domain", "measured",
+        "ctx", "prog", "pc", "prog_len", "clock", "counters",
+        "warmup_target", "measure_target", "snap_start", "snap_end", "done",
+        "latencies", "packet_start",
+    )
+
+    def __init__(self, index: int, label: str, flow, core: int, socket: int,
+                 data_domain: int, measured: bool):
+        self.index = index
+        self.label = label
+        self.flow = flow
+        self.core = core
+        self.socket = socket
+        self.data_domain = data_domain
+        self.measured = measured
+        self.ctx = AccessContext()
+        self.prog: List[int] = []
+        self.pc = 0
+        self.prog_len = -1  # -1: no packet generated yet
+        self.clock = 0.0
+        self.counters = CoreCounters()
+        self.warmup_target = 0
+        self.measure_target = 0
+        self.snap_start: Optional[CoreCounters] = None
+        self.snap_end: Optional[CoreCounters] = None
+        self.done = False
+        #: Per-packet completion latencies (cycles) within the measurement
+        #: window; populated only when the machine records latencies.
+        self.latencies: Optional[List[float]] = None
+        self.packet_start = 0.0
+
+
+class RunResult:
+    """Outcome of one :meth:`Machine.run`: per-flow statistics."""
+
+    def __init__(self, spec: PlatformSpec, flows: List[FlowRun],
+                 events: int, end_clock: float):
+        self.spec = spec
+        self.events = events
+        self.end_clock = end_clock
+        self.stats: Dict[str, FlowStats] = {}
+        self.flow_labels: List[str] = []
+        for fr in flows:
+            if fr.snap_start is None or fr.snap_end is None:
+                continue
+            delta = fr.snap_end.delta(fr.snap_start)
+            self.stats[fr.label] = FlowStats(delta, spec.freq_hz,
+                                             latencies=fr.latencies)
+            self.flow_labels.append(fr.label)
+
+    def __getitem__(self, label: str) -> FlowStats:
+        return self.stats[label]
+
+    def throughput(self, label: str) -> float:
+        """Measured packets/sec of flow ``label``."""
+        return self.stats[label].packets_per_sec
+
+    def total_l3_refs_per_sec(self, exclude: Optional[str] = None) -> float:
+        """Sum of measured L3 refs/sec over all flows except ``exclude``."""
+        return sum(
+            s.l3_refs_per_sec for lbl, s in self.stats.items() if lbl != exclude
+        )
+
+
+class Machine:
+    """One simulated server. Build it, add flows, call :meth:`run` once."""
+
+    def __init__(self, spec: Optional[PlatformSpec] = None, seed: int = DEFAULT_SEED,
+                 record_latencies: bool = False):
+        self.spec = spec if spec is not None else PlatformSpec.westmere()
+        self.seed = seed
+        self.record_latencies = record_latencies
+        self.space = AddressSpace(self.spec.n_sockets)
+        self.l3 = [
+            SetAssociativeCache(self.spec.l3_size, self.spec.l3_ways, f"L3.{s}")
+            for s in range(self.spec.n_sockets)
+        ]
+        self.mcs = [
+            MemoryController(d, self.spec.mc_service_cycles)
+            for d in range(self.spec.n_sockets)
+        ]
+        self.qpi = QPILink(self.spec.qpi_extra_cycles, self.spec.qpi_service_cycles)
+        self.flows: List[FlowRun] = []
+        self._cores_used: Dict[int, str] = {}
+        self._l1: Dict[int, SetAssociativeCache] = {}
+        self._l2: Dict[int, SetAssociativeCache] = {}
+        self._ran = False
+
+    # -- construction --------------------------------------------------------
+
+    def add_flow(
+        self,
+        factory: Callable[[FlowEnv], object],
+        core: int,
+        data_domain: Optional[int] = None,
+        measured: bool = True,
+        label: Optional[str] = None,
+    ) -> FlowRun:
+        """Instantiate a flow on ``core`` with data homed in ``data_domain``.
+
+        ``data_domain`` defaults to the core's own socket (the paper's
+        NUMA-local production configuration).
+        """
+        if self._ran:
+            raise RuntimeError("machine already ran; build a fresh Machine")
+        socket = self.spec.socket_of(core)
+        if core in self._cores_used:
+            raise ValueError(
+                f"core {core} already runs flow {self._cores_used[core]!r} "
+                "(the paper's configuration is one flow per core)"
+            )
+        if data_domain is None:
+            data_domain = socket
+        if not 0 <= data_domain < self.spec.n_sockets:
+            raise ValueError(f"no such NUMA domain: {data_domain}")
+        rng = random.Random((self.seed * 1_000_003 + core * 7919) & 0xFFFFFFFF)
+        env = FlowEnv(space=self.space, domain=data_domain, spec=self.spec, rng=rng)
+        flow = factory(env)
+        name = getattr(flow, "name", flow.__class__.__name__)
+        if label is None:
+            label = f"{name}@{core}"
+        if any(fr.label == label for fr in self.flows):
+            raise ValueError(f"duplicate flow label {label!r}")
+        fr = FlowRun(len(self.flows), label, flow, core, socket, data_domain, measured)
+        self.flows.append(fr)
+        self._cores_used[core] = label
+        self._l1[core] = SetAssociativeCache(
+            self.spec.l1_size, self.spec.l1_ways, f"L1.{core}"
+        )
+        self._l2[core] = SetAssociativeCache(
+            self.spec.l2_size, self.spec.l2_ways, f"L2.{core}"
+        )
+        attach = getattr(flow, "attach_run", None)
+        if attach is not None:
+            attach(self, fr)
+        return fr
+
+    def invalidate_private(self, lines, core: int) -> None:
+        """Invalidate ``lines`` in ``core``'s private L1/L2 (cache-to-cache
+        transfer of a written-shared line: the next reader pays an L3 access).
+
+        Used by the pipeline-handoff model; the shared L3 keeps the line.
+        """
+        l1 = self._l1.get(core)
+        l2 = self._l2.get(core)
+        for line in lines:
+            if l1 is not None:
+                l1.invalidate(line)
+            if l2 is not None:
+                l2.invalidate(line)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, warmup_packets: int = 200, measure_packets: int = 1000,
+            max_events: int = MAX_EVENTS) -> RunResult:
+        """Run until every measured flow completes its measurement window.
+
+        Per-flow packet targets are scaled by the flow's ``measure_weight``
+        attribute (slow flows like FW measure fewer packets so that mixed
+        runs finish in comparable simulated time; rates are unaffected).
+        """
+        if self._ran:
+            raise RuntimeError("machine already ran; build a fresh Machine")
+        if not self.flows:
+            raise RuntimeError("no flows configured")
+        self._ran = True
+
+        flows = self.flows
+        for fr in flows:
+            weight = float(getattr(fr.flow, "measure_weight", 1.0))
+            fr.warmup_target = max(50, int(warmup_packets * weight))
+            fr.measure_target = fr.warmup_target + max(100, int(measure_packets * weight))
+
+        if self.record_latencies:
+            for fr in flows:
+                fr.latencies = []
+
+        n_waiting = sum(1 for fr in flows if fr.measured)
+        if n_waiting == 0:
+            raise RuntimeError("at least one flow must be measured")
+
+        spec = self.spec
+        lat_l1 = spec.lat_l1
+        lat_l2 = spec.lat_l2
+        lat_l3 = spec.lat_l3
+        lat_dram = spec.lat_l3 + spec.lat_dram_extra
+        mcs = self.mcs
+        qpi = self.qpi
+        l3_by_socket = self.l3
+        n_tags = len(TAGS)
+        events = 0
+
+        # Per-flow fast-path bindings.
+        l1_sets = {fr.index: self._l1[fr.core].sets for fr in flows}
+        l1_nsets = {fr.index: self._l1[fr.core].n_sets for fr in flows}
+        l2_sets = {fr.index: self._l2[fr.core].sets for fr in flows}
+        l2_nsets = {fr.index: self._l2[fr.core].n_sets for fr in flows}
+        l1_ways = spec.l1_ways
+        l2_ways = spec.l2_ways
+        l3_ways = spec.l3_ways
+
+        heap: List = []
+        for fr in flows:
+            fr.counters._grow_tags()
+            if len(fr.counters.tag_refs) < n_tags:  # pragma: no cover - defensive
+                raise RuntimeError("tag registry changed mid-run")
+            heappush(heap, (fr.clock, fr.index))
+
+        stop = False
+        while heap and not stop:
+            clock, i = heappop(heap)
+            fr = flows[i]
+            fl = fr.flow
+            ctx = fr.ctx
+            c = fr.counters
+            tag_refs = c.tag_refs
+            tag_hits = c.tag_hits
+            my_l1 = l1_sets[i]
+            my_l1_n = l1_nsets[i]
+            my_l2 = l2_sets[i]
+            my_l2_n = l2_nsets[i]
+            my_l3 = l3_by_socket[fr.socket].sets
+            my_l3_n = l3_by_socket[fr.socket].n_sets
+            home = fr.socket
+            limit = heap[0][0] if heap else float("inf")
+            clock = fr.clock
+            prog = fr.prog
+            pc = fr.pc
+            prog_len = fr.prog_len
+
+            while True:
+                if pc >= prog_len:
+                    # -- packet boundary --------------------------------------
+                    if prog_len >= 0:
+                        clock += ctx.trailing_gap
+                        c.gap_cycles += ctx.trailing_gap
+                        if not ctx.is_idle:
+                            c.packets += 1
+                            if (fr.latencies is not None
+                                    and fr.snap_start is not None
+                                    and not fr.done):
+                                fr.latencies.append(clock - fr.packet_start)
+                        if c.packets == fr.warmup_target and fr.snap_start is None:
+                            c.cycles = clock
+                            fr.snap_start = c.copy()
+                        elif c.packets == fr.measure_target and not fr.done:
+                            c.cycles = clock
+                            fr.snap_end = c.copy()
+                            fr.done = True
+                            if fr.measured:
+                                n_waiting -= 1
+                                if n_waiting == 0:
+                                    stop = True
+                                    break
+                    # -- generate next packet ---------------------------------
+                    if events > max_events:
+                        raise RuntimeError(
+                            f"simulation exceeded {max_events} events; "
+                            "reduce packet counts or platform scale"
+                        )
+                    ctx.reset()
+                    # Keep the public run state current: flows with live
+                    # feedback (ControlElement, ThrottledFlow) read their
+                    # own clock and counters during generation.
+                    fr.clock = clock
+                    fr.packet_start = clock
+                    dma = fl.run_packet(ctx)
+                    ctx.finish_packet()
+                    c.instructions += ctx.instructions
+                    if dma:
+                        inval_l3 = l3_by_socket[fr.socket]
+                        inval_l1 = my_l1
+                        inval_l2 = my_l2
+                        for line in dma:
+                            s = inval_l1[line % my_l1_n]
+                            if line in s:
+                                s.remove(line)
+                            s = inval_l2[line % my_l2_n]
+                            if line in s:
+                                s.remove(line)
+                            s = my_l3[line % my_l3_n]
+                            if line in s:
+                                s.remove(line)
+                    prog = fr.prog = ctx.program
+                    pc = 0
+                    prog_len = len(prog)
+                    # A packet with no memory references must still advance
+                    # time via its trailing gap, or the loop would never
+                    # make progress.
+                    if prog_len == 0 and ctx.trailing_gap <= 0:
+                        raise RuntimeError(
+                            f"flow {fr.label!r} produced an empty, zero-time packet"
+                        )
+                    if clock > limit:
+                        break
+                    continue
+
+                # -- one memory reference -------------------------------------
+                gap = prog[pc]
+                line = prog[pc + 1]
+                now = clock + gap
+                s = my_l1[line % my_l1_n]
+                if line in s:
+                    s.remove(line)
+                    s.append(line)
+                    c.l1_hits += 1
+                    clock = now + lat_l1
+                else:
+                    s.append(line)
+                    if len(s) > l1_ways:
+                        s.pop(0)
+                    s2 = my_l2[line % my_l2_n]
+                    if line in s2:
+                        s2.remove(line)
+                        s2.append(line)
+                        c.l2_hits += 1
+                        clock = now + lat_l2
+                    else:
+                        s2.append(line)
+                        if len(s2) > l2_ways:
+                            s2.pop(0)
+                        c.l3_refs += 1
+                        tag = prog[pc + 2]
+                        tag_refs[tag] += 1
+                        s3 = my_l3[line % my_l3_n]
+                        if line in s3:
+                            s3.remove(line)
+                            s3.append(line)
+                            c.l3_hits += 1
+                            tag_hits[tag] += 1
+                            clock = now + lat_l3
+                        else:
+                            s3.append(line)
+                            if len(s3) > l3_ways:
+                                s3.pop(0)
+                            c.l3_misses += 1
+                            dom = line >> _DOMAIN_LINE_SHIFT
+                            wait = mcs[dom].request(now)
+                            lat = lat_dram + wait
+                            c.mc_wait_cycles += wait
+                            if dom != home:
+                                lat += qpi.transfer(now)
+                                c.remote_refs += 1
+                            clock = now + lat
+                c.gap_cycles += gap
+                pc += 3
+                events += 1
+                if clock > limit:
+                    break
+
+            fr.clock = clock
+            fr.pc = pc
+            fr.prog_len = prog_len
+            if stop:
+                break
+            if events > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "reduce packet counts or platform scale"
+                )
+            heappush(heap, (clock, i))
+
+        # Close statistics for flows that never reached their measure target
+        # (pure competitors kept running for contention): report whatever
+        # full window is available past their warm-up.
+        end_clock = max(fr.clock for fr in flows)
+        for fr in flows:
+            if fr.snap_start is not None and fr.snap_end is None:
+                fr.counters.cycles = fr.clock
+                fr.snap_end = fr.counters.copy()
+        return RunResult(self.spec, flows, events, end_clock)

@@ -1,0 +1,130 @@
+"""Platform topology description.
+
+:class:`PlatformSpec` captures the hardware shape (sockets, cores, cache
+geometry, latencies) and provides :meth:`PlatformSpec.westmere` matching
+the paper's server, plus :meth:`PlatformSpec.scaled` which shrinks the
+cache hierarchy and, via the ``scale`` attribute, the applications' data
+structures by the same factor — preserving hit ratios so that scaled-down
+runs (used by tests and fast benchmarks) exhibit the same contention
+behaviour as the full-size platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .. import constants as C
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Immutable description of the simulated machine."""
+
+    n_sockets: int = C.N_SOCKETS
+    cores_per_socket: int = C.CORES_PER_SOCKET
+    freq_hz: float = C.CPU_FREQ_HZ
+
+    l1_size: int = C.L1_SIZE
+    l1_ways: int = C.L1_WAYS
+    l2_size: int = C.L2_SIZE
+    l2_ways: int = C.L2_WAYS
+    l3_size: int = C.L3_SIZE
+    l3_ways: int = C.L3_WAYS
+
+    lat_l1: float = C.LAT_L1
+    lat_l2: float = C.LAT_L2
+    lat_l3: float = C.LAT_L3
+    lat_dram_extra: float = C.LAT_DRAM_EXTRA
+    mc_service_cycles: float = C.MC_SERVICE_CYCLES
+    qpi_extra_cycles: float = C.QPI_EXTRA_CYCLES
+    qpi_service_cycles: float = C.QPI_SERVICE_CYCLES
+
+    #: Joint scale-down factor; applications divide their table sizes by it.
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_sockets <= 0 or self.cores_per_socket <= 0:
+            raise ValueError("need at least one socket and one core")
+        if not (self.l1_size <= self.l2_size <= self.l3_size):
+            raise ValueError("cache sizes must be non-decreasing up the hierarchy")
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def total_cores(self) -> int:
+        """Number of cores across all sockets."""
+        return self.n_sockets * self.cores_per_socket
+
+    def socket_of(self, core: int) -> int:
+        """Socket index of ``core`` (cores are numbered socket-major)."""
+        if not 0 <= core < self.total_cores:
+            raise ValueError(f"no such core: {core}")
+        return core // self.cores_per_socket
+
+    def cores_of_socket(self, socket: int) -> range:
+        """Core ids belonging to ``socket``."""
+        if not 0 <= socket < self.n_sockets:
+            raise ValueError(f"no such socket: {socket}")
+        start = socket * self.cores_per_socket
+        return range(start, start + self.cores_per_socket)
+
+    @property
+    def l3_lines(self) -> int:
+        """L3 capacity in cache lines (the appendix model's cache size C)."""
+        return self.l3_size // C.CACHE_LINE
+
+    @property
+    def dram_latency(self) -> float:
+        """Total cycles for an L3 miss served locally (no queueing)."""
+        return self.lat_l3 + self.lat_dram_extra
+
+    @property
+    def address_bits(self) -> int:
+        """Effective IPv4 address-universe width for generated traffic.
+
+        Scaling shrinks tables by ``scale``; shrinking the address universe
+        by the same factor (fixing the top ``log2(scale)`` bits) preserves
+        the *occupancy* of routing-trie levels and hash tables, so lookup
+        depth and hit ratios match the full-size platform.
+        """
+        return max(20, 32 - max(0, self.scale.bit_length() - 1))
+
+    def scale_table(self, entries: int, minimum: int = 16) -> int:
+        """Scale an application table size by the platform scale factor."""
+        return max(minimum, entries // self.scale)
+
+    def scale_bytes(self, size: int, minimum: int = C.CACHE_LINE) -> int:
+        """Scale a byte size by the platform scale factor."""
+        return max(minimum, size // self.scale)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def westmere(cls) -> "PlatformSpec":
+        """The paper's platform: 2x X5660 at full size."""
+        return cls()
+
+    def scaled(self, factor: int) -> "PlatformSpec":
+        """A platform with caches (and app tables) shrunk by ``factor``."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        if factor == 1:
+            return self
+        for size, ways, name in (
+            (self.l1_size, self.l1_ways, "L1"),
+            (self.l2_size, self.l2_ways, "L2"),
+            (self.l3_size, self.l3_ways, "L3"),
+        ):
+            if size // factor < ways * C.CACHE_LINE:
+                raise ValueError(f"scale {factor} collapses {name} below one set")
+        return replace(
+            self,
+            l1_size=self.l1_size // factor,
+            l2_size=self.l2_size // factor,
+            l3_size=self.l3_size // factor,
+            scale=self.scale * factor,
+        )
+
+    def single_socket(self) -> "PlatformSpec":
+        """Same platform with only one socket (faster for one-socket studies)."""
+        return replace(self, n_sockets=1)

@@ -1,0 +1,23 @@
+"""Simulated NUMA memory: address space, regions, and access recording.
+
+Applications allocate :class:`~repro.mem.region.Region` objects from a
+:class:`~repro.mem.allocator.DomainAllocator` and issue loads/stores through
+an :class:`~repro.mem.access.AccessContext`, which turns them into per-packet
+*access programs* consumed by the timing engine in :mod:`repro.hw.machine`.
+"""
+
+from .region import Region
+from .allocator import DomainAllocator, AddressSpace
+from .access import AccessContext, TagRegistry, TAGS, TAG_OTHER
+from .layout import TableLayout
+
+__all__ = [
+    "Region",
+    "DomainAllocator",
+    "AddressSpace",
+    "AccessContext",
+    "TagRegistry",
+    "TAGS",
+    "TAG_OTHER",
+    "TableLayout",
+]

@@ -1,0 +1,91 @@
+"""Bump allocation of simulated memory, one allocator per NUMA domain.
+
+The paper's configuration allocates each flow's data structures in the
+memory domain local to the processor running the flow (Section 2.2,
+"NUMA memory allocation"); replication across domains is how flows on
+different sockets avoid remote accesses. :class:`AddressSpace` hands out
+non-overlapping regions per domain so experiments can reproduce both the
+local-allocation default and the deliberately-remote placements of
+Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..constants import CACHE_LINE, NUMA_DOMAIN_SHIFT
+from .region import Region
+
+
+class DomainAllocator:
+    """Bump allocator for one NUMA domain of the simulated address space."""
+
+    def __init__(self, domain: int):
+        if domain < 0:
+            raise ValueError("domain must be non-negative")
+        self.domain = domain
+        self._base = domain << NUMA_DOMAIN_SHIFT
+        self._next = self._base
+        self._limit = (domain + 1) << NUMA_DOMAIN_SHIFT
+        self.regions: List[Region] = []
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes handed out so far."""
+        return self._next - self._base
+
+    def alloc(self, size: int, name: str) -> Region:
+        """Allocate ``size`` bytes (rounded up to a whole cache line)."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        rounded = (size + CACHE_LINE - 1) & ~(CACHE_LINE - 1)
+        if self._next + rounded > self._limit:
+            raise MemoryError(
+                f"domain {self.domain} exhausted allocating {rounded} bytes"
+            )
+        region = Region(name=name, base=self._next, size=rounded, domain=self.domain)
+        self._next += rounded
+        self.regions.append(region)
+        return region
+
+
+class AddressSpace:
+    """The machine-wide simulated address space: one allocator per domain."""
+
+    def __init__(self, n_domains: int):
+        if n_domains <= 0:
+            raise ValueError("need at least one NUMA domain")
+        self.n_domains = n_domains
+        self._allocators: Dict[int, DomainAllocator] = {
+            d: DomainAllocator(d) for d in range(n_domains)
+        }
+
+    def domain(self, d: int) -> DomainAllocator:
+        """The allocator for NUMA domain ``d``."""
+        try:
+            return self._allocators[d]
+        except KeyError:
+            raise ValueError(f"no such NUMA domain: {d}") from None
+
+    def alloc(self, size: int, name: str, domain: int = 0) -> Region:
+        """Allocate ``size`` bytes in ``domain``."""
+        return self.domain(domain).alloc(size, name)
+
+    def all_regions(self) -> List[Region]:
+        """Every region allocated so far, across all domains."""
+        out: List[Region] = []
+        for alloc in self._allocators.values():
+            out.extend(alloc.regions)
+        return out
+
+
+def domain_of_address(addr: int) -> int:
+    """NUMA domain that owns byte address ``addr``."""
+    return addr >> NUMA_DOMAIN_SHIFT
+
+
+def domain_of_line(line: int) -> int:
+    """NUMA domain that owns cache line ``line``."""
+    from ..constants import CACHE_LINE_BITS
+
+    return line >> (NUMA_DOMAIN_SHIFT - CACHE_LINE_BITS)

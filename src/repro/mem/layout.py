@@ -1,0 +1,40 @@
+"""Table layout helpers: map logical entry indices to region offsets."""
+
+from __future__ import annotations
+
+from ..constants import CACHE_LINE
+from .region import Region
+
+
+class TableLayout:
+    """Fixed-stride table of ``n_entries`` records of ``entry_bytes`` each.
+
+    Used by applications (NetFlow table, firewall rules, fingerprint table)
+    to translate "access entry i" into cache-line addresses.
+    """
+
+    def __init__(self, region: Region, entry_bytes: int):
+        if entry_bytes <= 0:
+            raise ValueError("entry_bytes must be positive")
+        if region.size < entry_bytes:
+            raise ValueError("region smaller than a single entry")
+        self.region = region
+        self.entry_bytes = entry_bytes
+        self.n_entries = region.size // entry_bytes
+
+    def offset(self, index: int) -> int:
+        """Byte offset of entry ``index`` within the region."""
+        if not 0 <= index < self.n_entries:
+            raise IndexError(f"entry {index} outside table of {self.n_entries}")
+        return index * self.entry_bytes
+
+    def line(self, index: int) -> int:
+        """Cache line containing the start of entry ``index``."""
+        return self.region.line(self.offset(index))
+
+    def entries_per_line(self) -> int:
+        """How many whole entries share one cache line (>= 1 when packed)."""
+        return max(1, CACHE_LINE // self.entry_bytes)
+
+    def __len__(self) -> int:
+        return self.n_entries

@@ -1,0 +1,77 @@
+"""Simulated memory regions.
+
+A :class:`Region` is a contiguous span of the simulated physical address
+space, pinned to one NUMA domain. Regions carry no payload bytes — the
+functional state of an application lives in ordinary Python objects — they
+exist so that each logical data-structure access can be mapped to concrete
+cache-line addresses for the cache simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import CACHE_LINE, CACHE_LINE_BITS
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, NUMA-pinned span of simulated memory.
+
+    Attributes:
+        name: human-readable label (appears in debug dumps).
+        base: first byte address (already offset into its NUMA domain).
+        size: length in bytes.
+        domain: NUMA domain index the region lives in.
+    """
+
+    name: str
+    base: int
+    size: int
+    domain: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} must have positive size")
+        if self.base % CACHE_LINE:
+            raise ValueError(f"region {self.name!r} base not line-aligned")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address."""
+        return self.base + self.size
+
+    @property
+    def n_lines(self) -> int:
+        """Number of cache lines the region spans."""
+        return (self.size + CACHE_LINE - 1) >> CACHE_LINE_BITS
+
+    def addr(self, offset: int) -> int:
+        """Byte address of ``offset`` within the region (bounds-checked)."""
+        if not 0 <= offset < self.size:
+            raise IndexError(
+                f"offset {offset} outside region {self.name!r} of size {self.size}"
+            )
+        return self.base + offset
+
+    def line(self, offset: int) -> int:
+        """Cache-line index (global line number) containing ``offset``."""
+        return self.addr(offset) >> CACHE_LINE_BITS
+
+    def lines(self, offset: int, length: int) -> range:
+        """All cache-line indices covered by ``[offset, offset+length)``."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        first = self.addr(offset) >> CACHE_LINE_BITS
+        last = (self.addr(offset + length - 1)) >> CACHE_LINE_BITS
+        return range(first, last + 1)
+
+    def overlaps(self, other: "Region") -> bool:
+        """True if the two regions share any byte of address space."""
+        return self.base < other.end and other.base < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Region({self.name!r}, base=0x{self.base:x}, "
+            f"size={self.size}, domain={self.domain})"
+        )

@@ -1,0 +1,48 @@
+"""Packet substrate: addresses, checksums, headers, packets, traffic generators."""
+
+from .addresses import (
+    ip_to_int,
+    int_to_ip,
+    prefix_mask,
+    network_of,
+    random_ip,
+)
+from .checksum import internet_checksum, verify_checksum, incremental_update16
+from .headers import EthernetHeader, IPv4Header, UDPHeader, TCPHeader
+from .packet import Packet
+from .flowgen import (
+    TrafficSource,
+    UniformRandomTraffic,
+    FlowPopulationTraffic,
+    RedundantTraffic,
+    ReplaySource,
+)
+from .traces import ZipfFlowTraffic, IMIXTraffic
+from .pcapfile import PcapReader, PcapWriter, read_pcap, write_pcap
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_mask",
+    "network_of",
+    "random_ip",
+    "internet_checksum",
+    "verify_checksum",
+    "incremental_update16",
+    "EthernetHeader",
+    "IPv4Header",
+    "UDPHeader",
+    "TCPHeader",
+    "Packet",
+    "TrafficSource",
+    "UniformRandomTraffic",
+    "FlowPopulationTraffic",
+    "RedundantTraffic",
+    "ReplaySource",
+    "ZipfFlowTraffic",
+    "IMIXTraffic",
+    "PcapReader",
+    "PcapWriter",
+    "read_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,45 @@
+"""IPv4 address utilities (addresses are plain ints for speed)."""
+
+from __future__ import annotations
+
+import random
+
+
+def ip_to_int(dotted: str) -> int:
+    """Parse ``'a.b.c.d'`` into a 32-bit integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Network mask for a prefix of ``prefix_len`` bits."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix length out of range: {prefix_len}")
+    if prefix_len == 0:
+        return 0
+    return (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+
+
+def network_of(addr: int, prefix_len: int) -> int:
+    """The network part of ``addr`` under a ``prefix_len`` mask."""
+    return addr & prefix_mask(prefix_len)
+
+
+def random_ip(rng: random.Random) -> int:
+    """A uniformly random IPv4 address (the paper's worst-case input)."""
+    return rng.getrandbits(32)

@@ -1,0 +1,51 @@
+"""Internet checksum (RFC 1071) and incremental update (RFC 1624).
+
+IP forwarding updates the header checksum after decrementing the TTL; the
+incremental form is what real forwarders (and Click's ``DecIPTTL``) use.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 one's-complement checksum of ``data`` (16-bit result)."""
+    total = 0
+    n = len(data)
+    # Sum 16-bit big-endian words; pad a trailing odd byte with zero.
+    for i in range(0, n - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if n % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True if ``data`` (including its checksum field) sums to zero."""
+    total = 0
+    n = len(data)
+    for i in range(0, n - 1, 2):
+        total += (data[i] << 8) | data[i + 1]
+    if n % 2:
+        total += data[-1] << 8
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF
+
+
+def incremental_update16(checksum: int, old_word: int, new_word: int) -> int:
+    """RFC 1624 incremental checksum update for one 16-bit field change.
+
+    ``checksum`` is the current header checksum; returns the checksum after
+    the field changes from ``old_word`` to ``new_word``.
+    """
+    if not 0 <= checksum <= 0xFFFF:
+        raise ValueError("checksum must be a 16-bit value")
+    if not (0 <= old_word <= 0xFFFF and 0 <= new_word <= 0xFFFF):
+        raise ValueError("words must be 16-bit values")
+    # HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+    total = (~checksum & 0xFFFF) + (~old_word & 0xFFFF) + new_word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF

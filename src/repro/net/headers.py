@@ -1,0 +1,154 @@
+"""Protocol headers with real serialization.
+
+Headers are mutable dataclasses kept in native Python fields for speed in
+the simulation hot path; :meth:`pack`/:meth:`unpack` produce and parse the
+actual wire format (big-endian, per the RFCs) and are exercised by the
+functional tests and the pcap-style replay tooling.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .checksum import internet_checksum
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_ETH_FMT = struct.Struct("!6s6sH")
+_IPV4_FMT = struct.Struct("!BBHHHBBHII")
+_UDP_FMT = struct.Struct("!HHHH")
+_TCP_FMT = struct.Struct("!HHIIBBHHH")
+
+
+def _mac_bytes(mac: int) -> bytes:
+    return mac.to_bytes(6, "big")
+
+
+@dataclass
+class EthernetHeader:
+    """Ethernet II header (MACs as 48-bit ints)."""
+
+    dst: int = 0
+    src: int = 0
+    ethertype: int = 0x0800
+
+    LENGTH = 14
+
+    def pack(self) -> bytes:
+        return _ETH_FMT.pack(_mac_bytes(self.dst), _mac_bytes(self.src),
+                             self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        dst, src, ethertype = _ETH_FMT.unpack_from(data)
+        return cls(dst=int.from_bytes(dst, "big"),
+                   src=int.from_bytes(src, "big"), ethertype=ethertype)
+
+
+@dataclass
+class IPv4Header:
+    """IPv4 header (no options; IHL fixed at 5)."""
+
+    src: int = 0
+    dst: int = 0
+    ttl: int = 64
+    protocol: int = PROTO_UDP
+    total_length: int = 20
+    identification: int = 0
+    tos: int = 0
+    flags_fragment: int = 0
+    checksum: int = 0
+
+    LENGTH = 20
+
+    def compute_checksum(self) -> int:
+        """Checksum of this header with the checksum field zeroed."""
+        return internet_checksum(self._pack_with_checksum(0))
+
+    def finalize(self) -> "IPv4Header":
+        """Fill in the checksum field; returns self for chaining."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def _pack_with_checksum(self, checksum: int) -> bytes:
+        return _IPV4_FMT.pack(
+            (4 << 4) | 5, self.tos, self.total_length, self.identification,
+            self.flags_fragment, self.ttl, self.protocol, checksum,
+            self.src, self.dst,
+        )
+
+    def pack(self) -> bytes:
+        return self._pack_with_checksum(self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        (vihl, tos, total_length, ident, flags_frag, ttl, proto, checksum,
+         src, dst) = _IPV4_FMT.unpack_from(data)
+        if vihl >> 4 != 4:
+            raise ValueError(f"not an IPv4 header (version {vihl >> 4})")
+        if vihl & 0xF != 5:
+            raise ValueError("IPv4 options are not supported")
+        return cls(src=src, dst=dst, ttl=ttl, protocol=proto,
+                   total_length=total_length, identification=ident, tos=tos,
+                   flags_fragment=flags_frag, checksum=checksum)
+
+    def is_valid(self) -> bool:
+        """Header-level validity: version/ttl/length sanity plus checksum."""
+        return (
+            0 < self.ttl <= 255
+            and self.total_length >= self.LENGTH
+            and self.checksum == self.compute_checksum()
+        )
+
+
+@dataclass
+class UDPHeader:
+    """UDP header (checksum optional, as the RFC allows for IPv4)."""
+
+    sport: int = 0
+    dport: int = 0
+    length: int = 8
+    checksum: int = 0
+
+    LENGTH = 8
+
+    def pack(self) -> bytes:
+        return _UDP_FMT.pack(self.sport, self.dport, self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        sport, dport, length, checksum = _UDP_FMT.unpack_from(data)
+        return cls(sport=sport, dport=dport, length=length, checksum=checksum)
+
+
+@dataclass
+class TCPHeader:
+    """TCP header (no options; data offset fixed at 5)."""
+
+    sport: int = 0
+    dport: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+
+    LENGTH = 20
+
+    def pack(self) -> bytes:
+        return _TCP_FMT.pack(self.sport, self.dport, self.seq, self.ack,
+                             5 << 4, self.flags, self.window, self.checksum,
+                             self.urgent)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        (sport, dport, seq, ack, offset, flags, window, checksum,
+         urgent) = _TCP_FMT.unpack_from(data)
+        if offset >> 4 != 5:
+            raise ValueError("TCP options are not supported")
+        return cls(sport=sport, dport=dport, seq=seq, ack=ack, flags=flags,
+                   window=window, checksum=checksum, urgent=urgent)

@@ -1,0 +1,111 @@
+"""Minimal pcap (libpcap classic format) reader/writer.
+
+Lets the examples and tools exchange traffic with standard tooling
+(tcpdump/wireshark can open what we write). Only the classic microsecond
+format is implemented — magic ``0xa1b2c3d4``, both endiannesses on read —
+which is all the simulator needs for trace replay.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterable, Iterator, List, Tuple
+
+from .packet import Packet
+
+#: Classic pcap magic (microsecond timestamps).
+PCAP_MAGIC = 0xA1B2C3D4
+#: Ethernet link type.
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HDR = struct.Struct("<IHHiIII")
+_RECORD_HDR = struct.Struct("<IIII")
+
+
+class PcapWriter:
+    """Write packets to a pcap stream."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535):
+        self._stream = stream
+        self.packets_written = 0
+        stream.write(_GLOBAL_HDR.pack(
+            PCAP_MAGIC, 2, 4, 0, 0, snaplen, LINKTYPE_ETHERNET
+        ))
+
+    def write(self, packet: Packet, timestamp: float = 0.0) -> None:
+        """Append one packet at ``timestamp`` seconds."""
+        data = packet.to_bytes()
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        self._stream.write(_RECORD_HDR.pack(seconds, micros, len(data),
+                                            len(data)))
+        self._stream.write(data)
+        self.packets_written += 1
+
+    def write_all(self, packets: Iterable[Packet],
+                  interval: float = 1e-6) -> int:
+        """Write packets spaced ``interval`` seconds apart; returns count."""
+        n = 0
+        for i, packet in enumerate(packets):
+            self.write(packet, timestamp=i * interval)
+            n += 1
+        return n
+
+
+class PcapReader:
+    """Read packets from a pcap stream."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(_GLOBAL_HDR.size)
+        if len(header) < _GLOBAL_HDR.size:
+            raise ValueError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic == PCAP_MAGIC:
+            self._endian = "<"
+        elif magic == struct.unpack(">I", struct.pack("<I", PCAP_MAGIC))[0]:
+            self._endian = ">"
+        else:
+            raise ValueError(f"not a classic pcap file (magic {magic:#x})")
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+        if self.linktype != LINKTYPE_ETHERNET:
+            raise ValueError(f"unsupported link type {self.linktype}")
+
+    def __iter__(self) -> Iterator[Tuple[float, bytes]]:
+        record = struct.Struct(self._endian + "IIII")
+        while True:
+            header = self._stream.read(record.size)
+            if not header:
+                return
+            if len(header) < record.size:
+                raise ValueError("truncated pcap record header")
+            seconds, micros, caplen, origlen = record.unpack(header)
+            data = self._stream.read(caplen)
+            if len(data) < caplen:
+                raise ValueError("truncated pcap record body")
+            yield seconds + micros / 1_000_000, data
+
+    def packets(self, strict: bool = False) -> Iterator[Tuple[float, Packet]]:
+        """Parsed packets; non-IPv4/UDP/TCP records are skipped unless
+        ``strict`` (then they raise)."""
+        for timestamp, data in self:
+            try:
+                yield timestamp, Packet.from_bytes(data)
+            except ValueError:
+                if strict:
+                    raise
+
+
+def write_pcap(path: str, packets: Iterable[Packet],
+               interval: float = 1e-6) -> int:
+    """Write ``packets`` to ``path``; returns the number written."""
+    with open(path, "wb") as stream:
+        return PcapWriter(stream).write_all(packets, interval=interval)
+
+
+def read_pcap(path: str) -> List[Packet]:
+    """All parseable packets from ``path``."""
+    with open(path, "rb") as stream:
+        return [packet for _, packet in PcapReader(stream).packets()]

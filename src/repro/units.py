@@ -1,0 +1,60 @@
+"""Units and small conversion helpers used throughout the simulator.
+
+All sizes are in bytes, frequencies in hertz, times in seconds unless a
+name says otherwise (``_ns`` for nanoseconds, ``_cycles`` for CPU cycles).
+Keeping the conversions in one module avoids scattering magic factors.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+KHZ = 1_000
+MHZ = 1_000_000
+GHZ = 1_000_000_000
+
+NS_PER_SEC = 1_000_000_000
+
+
+def ns_to_cycles(ns: float, freq_hz: float) -> float:
+    """Convert a duration in nanoseconds to CPU cycles at ``freq_hz``."""
+    return ns * freq_hz / NS_PER_SEC
+
+
+def cycles_to_ns(cycles: float, freq_hz: float) -> float:
+    """Convert CPU cycles at ``freq_hz`` to nanoseconds."""
+    return cycles * NS_PER_SEC / freq_hz
+
+
+def cycles_to_seconds(cycles: float, freq_hz: float) -> float:
+    """Convert CPU cycles at ``freq_hz`` to seconds."""
+    return cycles / freq_hz
+
+
+def per_second(count: float, cycles: float, freq_hz: float) -> float:
+    """Rate of ``count`` events observed over ``cycles`` cycles, in events/sec.
+
+    Returns 0.0 for an empty observation window rather than dividing by zero,
+    because callers aggregate rates from possibly-idle cores.
+    """
+    if cycles <= 0:
+        return 0.0
+    return count * freq_hz / cycles
+
+
+def mega(value: float) -> float:
+    """Express ``value`` in millions (for printing refs/sec the way the paper does)."""
+    return value / 1e6
+
+
+def pretty_size(n_bytes: int) -> str:
+    """Human-readable byte size, e.g. ``12582912 -> '12.0MB'``."""
+    if n_bytes >= GB:
+        return f"{n_bytes / GB:.1f}GB"
+    if n_bytes >= MB:
+        return f"{n_bytes / MB:.1f}MB"
+    if n_bytes >= KB:
+        return f"{n_bytes / KB:.1f}KB"
+    return f"{n_bytes}B"

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hw.machine import FlowEnv, Machine
+from repro.hw.topology import PlatformSpec
+from repro.mem.allocator import AddressSpace
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def tiny_spec():
+    """A heavily scaled-down platform for fast engine tests."""
+    return PlatformSpec.westmere().scaled(64)
+
+
+@pytest.fixture
+def small_spec():
+    """A moderately scaled platform for integration tests."""
+    return PlatformSpec.westmere().scaled(32)
+
+
+@pytest.fixture
+def env(tiny_spec, rng):
+    """A standalone FlowEnv (domain 0) for element/app construction."""
+    return FlowEnv(space=AddressSpace(tiny_spec.n_sockets), domain=0,
+                   spec=tiny_spec, rng=rng)
+
+
+def make_env(spec=None, domain=0, seed=7):
+    """Non-fixture helper for tests needing several environments."""
+    if spec is None:
+        spec = PlatformSpec.westmere().scaled(64)
+    return FlowEnv(space=AddressSpace(spec.n_sockets), domain=domain,
+                   spec=spec, rng=random.Random(seed))

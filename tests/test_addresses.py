@@ -1,0 +1,60 @@
+"""IPv4 address helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addresses import (
+    int_to_ip,
+    ip_to_int,
+    network_of,
+    prefix_mask,
+    random_ip,
+)
+
+
+def test_parse_format():
+    assert ip_to_int("10.0.0.1") == 0x0A000001
+    assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+    assert int_to_ip(0xC0A80101) == "192.168.1.1"
+
+
+def test_parse_rejects_garbage():
+    for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+
+def test_format_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        int_to_ip(-1)
+    with pytest.raises(ValueError):
+        int_to_ip(1 << 32)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_property_roundtrip(value):
+    assert ip_to_int(int_to_ip(value)) == value
+
+
+def test_prefix_mask():
+    assert prefix_mask(0) == 0
+    assert prefix_mask(8) == 0xFF000000
+    assert prefix_mask(24) == 0xFFFFFF00
+    assert prefix_mask(32) == 0xFFFFFFFF
+    with pytest.raises(ValueError):
+        prefix_mask(33)
+
+
+def test_network_of():
+    addr = ip_to_int("192.168.37.41")
+    assert network_of(addr, 16) == ip_to_int("192.168.0.0")
+    assert network_of(addr, 24) == ip_to_int("192.168.37.0")
+
+
+def test_random_ip_determinism():
+    a = random_ip(random.Random(1))
+    b = random_ip(random.Random(1))
+    assert a == b
+    assert 0 <= a <= 0xFFFFFFFF

@@ -1,0 +1,94 @@
+"""NUMA address space and bump allocation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import CACHE_LINE, NUMA_DOMAIN_SHIFT
+from repro.mem.allocator import (
+    AddressSpace,
+    DomainAllocator,
+    domain_of_address,
+    domain_of_line,
+)
+
+
+def test_domain_base_addresses():
+    a0 = DomainAllocator(0)
+    a1 = DomainAllocator(1)
+    r0 = a0.alloc(64, "x")
+    r1 = a1.alloc(64, "y")
+    assert r0.base == 0
+    assert r1.base == 1 << NUMA_DOMAIN_SHIFT
+
+
+def test_allocations_do_not_overlap():
+    alloc = DomainAllocator(0)
+    regions = [alloc.alloc(100, f"r{i}") for i in range(20)]
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert not a.overlaps(b)
+
+
+def test_rounds_to_cache_line():
+    alloc = DomainAllocator(0)
+    r = alloc.alloc(1, "tiny")
+    assert r.size == CACHE_LINE
+    r2 = alloc.alloc(65, "two")
+    assert r2.size == 2 * CACHE_LINE
+    assert r2.base % CACHE_LINE == 0
+
+
+def test_allocated_bytes_tracks():
+    alloc = DomainAllocator(0)
+    alloc.alloc(64, "a")
+    alloc.alloc(128, "b")
+    assert alloc.allocated_bytes == 192
+
+
+def test_rejects_bad_sizes():
+    alloc = DomainAllocator(0)
+    with pytest.raises(ValueError):
+        alloc.alloc(0, "zero")
+    with pytest.raises(ValueError):
+        alloc.alloc(-1, "neg")
+
+
+def test_domain_exhaustion():
+    alloc = DomainAllocator(0)
+    with pytest.raises(MemoryError):
+        alloc.alloc((1 << NUMA_DOMAIN_SHIFT) + CACHE_LINE, "huge")
+
+
+def test_address_space_domains():
+    space = AddressSpace(2)
+    r0 = space.alloc(64, "a", domain=0)
+    r1 = space.alloc(64, "b", domain=1)
+    assert r0.domain == 0
+    assert r1.domain == 1
+    assert len(space.all_regions()) == 2
+
+
+def test_address_space_rejects_unknown_domain():
+    space = AddressSpace(2)
+    with pytest.raises(ValueError):
+        space.alloc(64, "c", domain=2)
+    with pytest.raises(ValueError):
+        AddressSpace(0)
+
+
+def test_domain_of_address_and_line():
+    space = AddressSpace(2)
+    r1 = space.alloc(256, "remote", domain=1)
+    assert domain_of_address(r1.base) == 1
+    assert domain_of_line(r1.base >> 6) == 1
+    assert domain_of_address(0) == 0
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1,
+                max_size=50))
+def test_property_allocations_disjoint_and_ordered(sizes):
+    alloc = DomainAllocator(0)
+    regions = [alloc.alloc(size, f"r{i}") for i, size in enumerate(sizes)]
+    for earlier, later in zip(regions, regions[1:]):
+        assert earlier.end <= later.base
+    assert alloc.allocated_bytes == sum(r.size for r in regions)

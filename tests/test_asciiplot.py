@@ -1,0 +1,62 @@
+"""ASCII plotting helpers."""
+
+import pytest
+
+from repro.core.asciiplot import bar_chart, plot, plot_curve
+
+
+def test_plot_single_series_dimensions():
+    out = plot_curve([(0, 0), (50, 0.1), (100, 0.25)], name="MON",
+                     width=40, height=8)
+    lines = out.splitlines()
+    assert len(lines) == 8 + 3  # grid + axis + labels + legend
+    assert all("|" in line for line in lines[:8])
+    assert "o=MON" in lines[-1]
+
+
+def test_plot_places_extremes():
+    out = plot_curve([(0, 0.0), (100, 1.0)], width=20, height=5)
+    lines = out.splitlines()
+    # Max value lands on the top row, min on the bottom grid row.
+    assert "o" in lines[0]
+    assert "o" in lines[4]
+
+
+def test_plot_multiple_series_glyphs():
+    out = plot({"a": [(0, 1), (1, 2)], "b": [(0, 2), (1, 3)]},
+               width=20, height=6)
+    assert "o=a" in out and "x=b" in out
+
+
+def test_plot_validation():
+    with pytest.raises(ValueError):
+        plot({})
+    with pytest.raises(ValueError):
+        plot({"a": []})
+    with pytest.raises(ValueError):
+        plot({"a": [(0, 1)]}, width=2)
+
+
+def test_plot_flat_series_does_not_crash():
+    out = plot_curve([(0, 0.5), (10, 0.5)], width=20, height=5)
+    assert "o" in out
+
+
+def test_bar_chart():
+    out = bar_chart({"MON": 20.9, "FW": 4.7}, width=20, unit="%")
+    lines = out.splitlines()
+    assert len(lines) == 2
+    mon_hashes = lines[0].count("#")
+    fw_hashes = lines[1].count("#")
+    assert mon_hashes == 20
+    assert 0 < fw_hashes < mon_hashes
+
+
+def test_bar_chart_zero_peak():
+    out = bar_chart({"a": 0.0})
+    assert "#" not in out
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ValueError):
+        bar_chart({})

@@ -1,0 +1,107 @@
+"""Capacity planner on a synthetic predictor."""
+
+import pytest
+
+from repro.core.capacity import SLA, CapacityPlanner, FlowPlan
+from repro.core.prediction import ContentionPredictor, SensitivityCurve
+from repro.core.profiler import SoloProfile
+
+
+def profile(app, refs, throughput):
+    return SoloProfile(
+        app=app, throughput=throughput, cycles_per_instruction=1.0,
+        l3_refs_per_sec=refs, l3_hits_per_sec=refs * 0.7,
+        cycles_per_packet=1000, l3_refs_per_packet=5,
+        l3_misses_per_packet=1, l2_hits_per_packet=2,
+    )
+
+
+@pytest.fixture
+def planner():
+    profiles = {
+        "MON": profile("MON", refs=20e6, throughput=3e6),
+        "FW": profile("FW", refs=1e6, throughput=0.2e6),
+    }
+    curves = {
+        "MON": SensitivityCurve("MON", [(20e6, 0.10), (100e6, 0.25)]),
+        "FW": SensitivityCurve("FW", [(100e6, 0.02)]),
+    }
+    predictor = ContentionPredictor(profiles, curves)
+    return CapacityPlanner(predictor, slas=[
+        SLA("MON", min_throughput=2.5e6),
+        SLA("FW", min_throughput=0.15e6),
+    ])
+
+
+def test_assess_single_flow(planner):
+    assessment = planner.assess(["MON"])
+    assert assessment.feasible
+    flow = assessment.flows[0]
+    assert flow.predicted_drop == 0.0
+    assert flow.predicted_throughput == pytest.approx(3e6)
+    assert flow.headroom == pytest.approx(3e6 / 2.5e6 - 1)
+
+
+def test_assess_contended_deployment(planner):
+    assessment = planner.assess(["MON", "MON", "MON", "MON"])
+    mon = assessment.flows[0]
+    # 3 competitors x 20M refs = 60M -> interpolated drop between 10% & 25%.
+    assert 0.10 < mon.predicted_drop < 0.25
+    assert mon.predicted_throughput < 3e6
+
+
+def test_violations_detected(planner):
+    # Six MON flows: 100M competing refs -> 25% drop -> 2.25M < SLA 2.5M.
+    assessment = planner.assess(["MON"] * 6)
+    assert not assessment.feasible
+    assert len(assessment.violations) == 6
+    assert assessment.worst_headroom < 0
+
+
+def test_max_coresident(planner):
+    n, assessment = planner.max_coresident("MON", "MON", max_slots=5)
+    # With each MON competitor adding 20M refs, the SLA (<=16.7% drop)
+    # holds through ~2 competitors (40M refs -> ~13.75% drop).
+    assert n == 2
+    assert assessment.feasible
+    assert len(assessment.flows) == 3
+
+
+def test_max_coresident_benign_filler(planner):
+    n, assessment = planner.max_coresident("MON", "FW", max_slots=5)
+    assert n == 5  # FW barely competes; MON's SLA survives a full socket
+    assert assessment.feasible
+
+
+def test_rank_deployments(planner):
+    ranked = planner.rank_deployments([
+        ["MON"] * 6,            # infeasible
+        ["MON", "FW", "FW"],    # comfortable
+        ["MON", "MON", "MON"],  # tighter but feasible
+    ])
+    assert ranked[0][0] == ("MON", "FW", "FW")
+    assert ranked[-1][0] == ("MON",) * 6
+    assert not ranked[-1][1].feasible
+
+
+def test_flows_without_sla_always_pass(planner):
+    planner.slas.pop("FW")
+    assessment = planner.assess(["FW"] * 6)
+    assert assessment.feasible
+    assert assessment.worst_headroom == float("inf")
+
+
+def test_validation(planner):
+    with pytest.raises(ValueError):
+        planner.assess([])
+    with pytest.raises(ValueError):
+        planner.max_coresident("MON", "FW", max_slots=-1)
+    with pytest.raises(ValueError):
+        SLA("X", min_throughput=-1)
+
+
+def test_flow_plan_headroom_without_sla():
+    plan = FlowPlan(app="X", predicted_throughput=1.0, predicted_drop=0.0,
+                    sla=None)
+    assert plan.meets_sla
+    assert plan.headroom == float("inf")

@@ -1,0 +1,55 @@
+"""CLI entry points (fast, tiny-scale invocations)."""
+
+import pytest
+
+from repro.cli import _parse_flows, predict_main, profile_main, schedule_main
+
+
+def test_parse_flows_expands_counts():
+    assert _parse_flows(["2xMON", "FW"]) == ["MON", "MON", "FW"]
+    assert _parse_flows(["IP"]) == ["IP"]
+
+
+def test_parse_flows_rejects_unknown():
+    with pytest.raises(SystemExit):
+        _parse_flows(["2xNAT"])
+
+
+def test_profile_main_runs(capsys):
+    rc = profile_main(["IP", "--scale", "64", "--warmup", "300",
+                       "--measure", "300"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "IP" in out
+    assert "pkts/sec" in out
+
+
+def test_predict_main_runs(capsys):
+    rc = predict_main(["FW", "FW", "--scale", "64", "--warmup", "300",
+                       "--measure", "300"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "FW@0" in out
+    assert "predicted drop" in out
+
+
+def test_predict_main_rejects_oversubscription():
+    with pytest.raises(SystemExit):
+        predict_main(["7xFW", "--scale", "64"])
+
+
+def test_schedule_main_rejects_wrong_count():
+    with pytest.raises(SystemExit):
+        schedule_main(["3xMON", "--scale", "64"])
+
+
+def test_sweep_main_runs(capsys):
+    from repro.cli import sweep_main
+
+    rc = sweep_main(["FW", "--scale", "64", "--warmup", "300",
+                     "--measure", "300"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sensitivity curve" in out
+    assert "turning point" in out
+    assert "drop %" in out

@@ -1,0 +1,102 @@
+"""Performance counters and derived statistics."""
+
+import pytest
+
+from repro.hw.counters import CoreCounters, FlowStats, performance_drop
+from repro.mem.access import TAGS
+
+
+def test_copy_and_delta():
+    c = CoreCounters()
+    c.cycles = 1000.0
+    c.packets = 10
+    c.l3_refs = 50
+    c.l3_hits = 30
+    snap = c.copy()
+    c.cycles = 3000.0
+    c.packets = 30
+    c.l3_refs = 150
+    c.l3_hits = 80
+    delta = c.delta(snap)
+    assert delta.cycles == 2000.0
+    assert delta.packets == 20
+    assert delta.l3_refs == 100
+    assert delta.l3_hits == 50
+    # The snapshot itself is unchanged.
+    assert snap.packets == 10
+
+
+def test_delta_includes_tags():
+    tag = TAGS.register("counter_test_tag")
+    c = CoreCounters()
+    c._grow_tags()
+    c.tag_refs[tag] += 5
+    snap = c.copy()
+    c.tag_refs[tag] += 7
+    assert c.delta(snap).tag_refs[tag] == 7
+
+
+def make_stats(cycles=2.8e9, packets=1_000_000, instructions=2_000_000_000,
+               l3_refs=10_000_000, l3_hits=7_000_000, l2_hits=5_000_000):
+    c = CoreCounters()
+    c.cycles = cycles
+    c.packets = packets
+    c.instructions = instructions
+    c.l3_refs = l3_refs
+    c.l3_hits = l3_hits
+    c.l3_misses = l3_refs - l3_hits
+    c.l2_hits = l2_hits
+    return FlowStats(c, freq_hz=2.8e9)
+
+
+def test_throughput_rates():
+    s = make_stats()
+    assert s.packets_per_sec == pytest.approx(1_000_000)
+    assert s.throughput == s.packets_per_sec
+    assert s.seconds == pytest.approx(1.0)
+
+
+def test_table1_columns():
+    s = make_stats()
+    assert s.cycles_per_packet == pytest.approx(2800.0)
+    assert s.cycles_per_instruction == pytest.approx(1.4)
+    assert s.l3_refs_per_sec == pytest.approx(10e6)
+    assert s.l3_hits_per_sec == pytest.approx(7e6)
+    assert s.l3_misses_per_sec == pytest.approx(3e6)
+    assert s.l3_refs_per_packet == pytest.approx(10.0)
+    assert s.l3_misses_per_packet == pytest.approx(3.0)
+    assert s.l3_hits_per_packet == pytest.approx(7.0)
+    assert s.l2_hits_per_packet == pytest.approx(5.0)
+    assert s.l3_hit_rate == pytest.approx(0.7)
+
+
+def test_zero_windows_are_safe():
+    s = FlowStats(CoreCounters(), freq_hz=2.8e9)
+    assert s.packets_per_sec == 0.0
+    assert s.cycles_per_packet == 0.0
+    assert s.cycles_per_instruction == 0.0
+    assert s.l3_hit_rate == 0.0
+
+
+def test_tag_hit_rate():
+    tag = TAGS.register("stats_tag")
+    c = CoreCounters()
+    c._grow_tags()
+    c.tag_refs[tag] = 10
+    c.tag_hits[tag] = 4
+    s = FlowStats(c, freq_hz=1e9)
+    assert s.tag_hit_rate("stats_tag") == pytest.approx(0.4)
+    assert s.tag_refs("stats_tag") == 10
+    assert s.tag_breakdown()["stats_tag"] == pytest.approx(0.4)
+
+
+def test_tag_hit_rate_unknown_tag_is_zero():
+    s = FlowStats(CoreCounters(), freq_hz=1e9)
+    assert s.tag_hit_rate("brand_new_tag_xyz") == 0.0
+
+
+def test_performance_drop():
+    assert performance_drop(100.0, 80.0) == pytest.approx(0.2)
+    assert performance_drop(100.0, 100.0) == 0.0
+    assert performance_drop(0.0, 50.0) == 0.0
+    assert performance_drop(100.0, 110.0) == pytest.approx(-0.1)

@@ -1,0 +1,80 @@
+"""DPI element (extension application)."""
+
+import pytest
+
+from repro.apps.dpi import DPIElement
+from repro.apps.registry import make_app
+from repro.mem.access import AccessContext
+from repro.net.packet import Packet
+from tests.conftest import make_env
+
+
+def make_dpi(patterns=None, **kw):
+    element = DPIElement(patterns=patterns, **kw)
+    element.initialize(make_env())
+    return element
+
+
+def test_alerts_on_signature():
+    dpi = make_dpi(patterns=[b"attack!!"])
+    pkt = Packet.udp(src=1, dst=2, payload=b"prefix attack!! suffix")
+    out = dpi.process(AccessContext(), pkt)
+    assert out is pkt  # IDS mode: alert but forward
+    assert dpi.alerts == 1
+
+
+def test_ips_mode_drops():
+    dpi = make_dpi(patterns=[b"attack!!"], drop_on_match=True)
+    pkt = Packet.udp(src=1, dst=2, payload=b"xx attack!! yy")
+    assert dpi.process(AccessContext(), pkt) is None
+
+
+def test_clean_payload_passes():
+    dpi = make_dpi(patterns=[b"attack!!"])
+    pkt = Packet.udp(src=1, dst=2, payload=b"totally benign payload")
+    assert dpi.process(AccessContext(), pkt) is pkt
+    assert dpi.alerts == 0
+    assert dpi.bytes_scanned == len(pkt.payload)
+
+
+def test_empty_payload_skips_scan():
+    dpi = make_dpi(patterns=[b"attack!!"])
+    pkt = Packet.udp(src=1, dst=2, payload=b"")
+    assert dpi.process(AccessContext(), pkt) is pkt
+    assert dpi.bytes_scanned == 0
+
+
+def test_records_automaton_references():
+    dpi = make_dpi()  # generated signature set
+    ctx = AccessContext()
+    pkt = Packet.udp(src=1, dst=2, payload=b"z" * 128)
+    dpi.process(ctx, pkt)
+    lines = ctx.lines_touched()
+    region_lines = set(range(dpi.region.base >> 6, dpi.region.end >> 6))
+    assert lines
+    assert all(line in region_lines for line in lines)
+
+
+def test_generated_rules_rarely_match_random_traffic():
+    env = make_env()
+    dpi = DPIElement()
+    dpi.initialize(env)
+    for i in range(30):
+        pkt = Packet.udp(src=i, dst=i, payload=env.rng.randbytes(200))
+        dpi.process(AccessContext(), pkt)
+    assert dpi.alerts <= 1
+    assert dpi.scanned == 30
+
+
+def test_requires_initialize():
+    with pytest.raises(RuntimeError):
+        DPIElement().process(AccessContext(), Packet.udp(src=1, dst=2))
+
+
+def test_registered_as_extension_app():
+    app = make_app("DPI", make_env())
+    names = [e.__class__.__name__ for e in app.elements]
+    assert names[-1] == "DPIElement"
+    ctx = AccessContext()
+    app.run_packet(ctx)
+    assert ctx.n_references > 0

@@ -1,0 +1,110 @@
+"""Memory-controller and QPI queueing model."""
+
+import pytest
+
+from repro.hw.dram import MemoryController, UtilizationQueue, UTILIZATION_WINDOW
+from repro.hw.interconnect import QPILink
+
+
+def test_rejects_bad_service():
+    with pytest.raises(ValueError):
+        UtilizationQueue(0)
+    with pytest.raises(ValueError):
+        MemoryController(0, -1)
+
+
+def test_idle_controller_adds_no_wait():
+    mc = MemoryController(0, service_cycles=5.0)
+    # Sparse requests: utilization stays ~0, waits stay ~0.
+    now = 0.0
+    for _ in range(100):
+        assert mc.request(now) == pytest.approx(0.0, abs=0.01)
+        now += 10 * UTILIZATION_WINDOW
+    assert mc.requests == 100
+
+
+def test_saturated_controller_queues():
+    mc = MemoryController(0, service_cycles=5.0)
+    now = 0.0
+    waits = []
+    for _ in range(200_000):
+        waits.append(mc.request(now))
+        now += 6.0  # arrivals at ~83% of capacity
+    # After the utilization estimate settles, waits are substantial.
+    late = waits[-100:]
+    assert min(late) > 5.0
+    assert mc.rho > 0.5
+
+
+def test_wait_increases_with_load():
+    def avg_wait(interval):
+        mc = MemoryController(0, service_cycles=5.0)
+        now, total, n = 0.0, 0.0, 60_000
+        for _ in range(n):
+            total += mc.request(now)
+            now += interval
+        return total / n
+
+    assert avg_wait(8.0) > avg_wait(20.0) >= avg_wait(200.0)
+
+
+def test_rho_is_capped():
+    mc = MemoryController(0, service_cycles=5.0)
+    now = 0.0
+    for _ in range(300_000):
+        mc.request(now)
+        now += 1.0  # 5x oversubscribed
+    assert mc.rho <= 0.95
+    # Even saturated, the wait stays finite.
+    assert mc.request(now) < 5.0 * 20
+
+
+def test_out_of_order_arrivals_do_not_inflate_waits():
+    """Timestamp reordering (engine batching) must not read as contention."""
+    mc = MemoryController(0, service_cycles=5.0)
+    now = 0.0
+    waits = []
+    for i in range(20_000):
+        jitter = 300.0 if i % 2 else -300.0
+        waits.append(mc.request(max(0.0, now + jitter)))
+        now += 200.0  # genuine load is light (2.5%)
+    assert sum(waits[-1000:]) / 1000 < 1.0
+
+
+def test_utilization_accounting():
+    mc = MemoryController(0, service_cycles=5.0)
+    for i in range(10):
+        mc.request(float(i * 100))
+    assert mc.busy_cycles == pytest.approx(50.0)
+    assert mc.utilization(1000.0) == pytest.approx(0.05)
+    assert mc.utilization(0.0) == 0.0
+
+
+def test_reset():
+    mc = MemoryController(0, service_cycles=5.0)
+    mc.request(0.0)
+    mc.reset()
+    assert mc.requests == 0
+    assert mc.busy_cycles == 0.0
+    assert mc.rho == 0.0
+
+
+def test_qpi_adds_fixed_latency():
+    qpi = QPILink(extra_cycles=60.0, service_cycles=2.0)
+    lat = qpi.transfer(0.0)
+    assert lat >= 60.0
+    assert qpi.transfers == 1
+
+
+def test_qpi_queues_under_load():
+    qpi = QPILink(extra_cycles=60.0, service_cycles=2.0)
+    now = 0.0
+    for _ in range(200_000):
+        qpi.transfer(now)
+        now += 2.2
+    assert qpi.transfer(now) > 60.0 + 2.0
+
+
+def test_qpi_rejects_negative_extra():
+    with pytest.raises(ValueError):
+        QPILink(extra_cycles=-1.0, service_cycles=2.0)

@@ -1,0 +1,78 @@
+"""Equation 1: the worst-case drop bound."""
+
+import pytest
+
+from repro.core.equation1 import (
+    drop_from_conversion,
+    figure6_series,
+    worst_case_drop,
+    worst_case_curve,
+)
+
+
+def test_paper_examples():
+    """Figure 6's annotated points for delta = 43.75 ns."""
+    # "the maximum performance drop that could be suffered by an IP flow
+    # is 47%" at ~20.2M hits/sec.
+    assert worst_case_drop(20.21e6) == pytest.approx(0.469, abs=0.01)
+    # MON at 21.32M hits/sec: ~48%.
+    assert worst_case_drop(21.32e6) == pytest.approx(0.483, abs=0.01)
+    # FW at 2.13M hits/sec: ~9%.
+    assert worst_case_drop(2.13e6) == pytest.approx(0.085, abs=0.01)
+
+
+def test_zero_hits_means_zero_drop():
+    assert worst_case_drop(0.0) == 0.0
+    assert drop_from_conversion(1e7, kappa=0.0) == 0.0
+
+
+def test_monotone_in_hits():
+    drops = [worst_case_drop(h) for h in (1e6, 5e6, 20e6, 100e6)]
+    assert drops == sorted(drops)
+    assert all(0 <= d < 1 for d in drops)
+
+
+def test_monotone_in_kappa():
+    a = drop_from_conversion(20e6, kappa=0.3)
+    b = drop_from_conversion(20e6, kappa=0.9)
+    assert b > a
+    assert drop_from_conversion(20e6, kappa=1.0) == worst_case_drop(20e6)
+
+
+def test_monotone_in_delta():
+    assert worst_case_drop(20e6, delta_ns=60.0) > \
+        worst_case_drop(20e6, delta_ns=30.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        worst_case_drop(-1.0)
+    with pytest.raises(ValueError):
+        drop_from_conversion(1e6, kappa=1.5)
+    with pytest.raises(ValueError):
+        drop_from_conversion(1e6, kappa=0.5, delta_ns=0)
+
+
+def test_curve_shape():
+    curve = worst_case_curve(50e6, n_points=11)
+    assert len(curve) == 11
+    assert curve[0] == (0.0, 0.0)
+    xs = [x for x, _ in curve]
+    ys = [y for _, y in curve]
+    assert xs == sorted(xs)
+    assert ys == sorted(ys)
+
+
+def test_curve_validation():
+    with pytest.raises(ValueError):
+        worst_case_curve(50e6, n_points=1)
+    with pytest.raises(ValueError):
+        worst_case_curve(0.0)
+
+
+def test_figure6_series_has_all_deltas():
+    series = figure6_series(30e6)
+    assert set(series) == {30.0, 43.75, 60.0}
+    # Larger delta curve dominates pointwise.
+    for (_, lo), (_, hi) in zip(series[30.0], series[60.0]):
+        assert hi >= lo

@@ -1,0 +1,34 @@
+"""Experiment configuration plumbing."""
+
+import pytest
+
+from repro.experiments.common import BENCH_CONFIG, TEST_CONFIG, ExperimentConfig
+
+
+def test_spec_uses_scale():
+    config = ExperimentConfig(scale=16)
+    assert config.spec().scale == 16
+    assert config.spec().n_sockets == 2
+    assert config.socket_spec().n_sockets == 1
+
+
+def test_quicker_divides_packet_counts():
+    config = ExperimentConfig(solo_warmup=4000, solo_measure=2000,
+                              corun_warmup=4000, corun_measure=1000)
+    quick = config.quicker(2)
+    assert quick.solo_warmup == 2000
+    assert quick.corun_measure == 500
+    assert quick.scale == config.scale
+
+
+def test_quicker_has_floors():
+    config = ExperimentConfig()
+    tiny = config.quicker(10_000)
+    assert tiny.solo_warmup >= 300
+    assert tiny.corun_measure >= 200
+
+
+def test_presets_are_consistent():
+    assert BENCH_CONFIG.scale >= 1
+    assert TEST_CONFIG.scale > BENCH_CONFIG.scale  # tests run smaller
+    assert TEST_CONFIG.solo_warmup < BENCH_CONFIG.solo_warmup

@@ -1,0 +1,165 @@
+"""Experiment result objects: aggregation and rendering (no simulation)."""
+
+import pytest
+
+from repro.core.prediction import SensitivityCurve
+from repro.core.profiler import SoloProfile
+from repro.core.scheduling import PlacementOutcome, StudyResult
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig4 import Fig4Result, _placement
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig7 import conversion
+from repro.experiments.fig8 import Fig8Result
+from repro.experiments.fig9 import Fig9Result
+from repro.experiments.fig10 import Fig10Result
+from repro.experiments.pipeline_vs_parallel import Comparison, PipelineStudyResult
+from repro.experiments.table1 import Table1Result
+from repro.hw.topology import PlatformSpec
+
+
+def profile(app, refs=10e6, hits=7e6, throughput=1e6):
+    return SoloProfile(
+        app=app, throughput=throughput, cycles_per_instruction=1.2,
+        l3_refs_per_sec=refs, l3_hits_per_sec=hits, cycles_per_packet=1000,
+        l3_refs_per_packet=8, l3_misses_per_packet=2, l2_hits_per_packet=3,
+    )
+
+
+def test_table1_result_render_and_ordering():
+    result = Table1Result(profiles={
+        "A": profile("A", refs=20e6), "B": profile("B", refs=5e6),
+    })
+    out = result.render()
+    assert "Table 1" in out and "A" in out and "B" in out
+    assert result.ordering("l3_refs_per_sec") == ["A", "B"]
+
+
+def test_fig2_result_aggregation():
+    apps = ("A", "B")
+    drops = {("A", "A"): 0.2, ("A", "B"): 0.1,
+             ("B", "A"): 0.05, ("B", "B"): 0.01}
+    result = Fig2Result(apps=apps, profiles={}, drops=drops, measurements={})
+    assert result.average_drop("A") == pytest.approx(0.15)
+    assert result.most_sensitive() == "A"
+    assert result.most_aggressive() == "A"
+    assert result.max_drop() == 0.2
+    assert "Figure 2" in result.render()
+
+
+def test_fig4_placement_geometry():
+    spec = PlatformSpec.westmere()
+    cores, domain = _placement("cache", spec, 5)
+    assert cores == [1, 2, 3, 4, 5] and domain == 1
+    cores, domain = _placement("mc", spec, 5)
+    assert cores == [6, 7, 8, 9, 10] and domain == 0
+    cores, domain = _placement("both", spec, 5)
+    assert cores == [1, 2, 3, 4, 5] and domain == 0
+    with pytest.raises(ValueError):
+        _placement("qpi", spec, 5)
+    with pytest.raises(ValueError):
+        _placement("cache", spec, 6)
+
+
+def test_fig4_result_dominance():
+    series = {
+        ("cache", "A"): [(10e6, 0.1), (50e6, 0.3)],
+        ("mc", "A"): [(10e6, 0.01), (50e6, 0.05)],
+        ("both", "A"): [(10e6, 0.12), (50e6, 0.32)],
+    }
+    result = Fig4Result(series=series, profiles={"A": profile("A")})
+    assert result.max_drop("cache", "A") == 0.3
+    assert result.cache_dominates()
+    assert "Fig4[cache] A" in result.render()
+
+
+def test_fig5_deviation():
+    curve = SensitivityCurve("A", [(10e6, 0.1), (100e6, 0.1)])
+    result = Fig5Result(
+        curves={"A": curve},
+        realistic_points={"A": [("B", 50e6, 0.12), ("C", 50e6, 0.08)]},
+    )
+    assert result.deviation("A") == pytest.approx(0.02)
+    assert "A(S)" in result.render() and "A(R)" in result.render()
+
+
+def test_fig5_deviation_empty():
+    result = Fig5Result(curves={"A": SensitivityCurve("A", [(1e6, 0.0)])},
+                        realistic_points={"A": []})
+    assert result.deviation("A") == 0.0
+
+
+def test_fig7_conversion_helper():
+    assert conversion(0.8, 0.4) == pytest.approx(0.5)
+    assert conversion(0.8, 0.9) == 0.0      # clamped: hit rate improved
+    assert conversion(0.0, 0.5) == 0.0      # no solo hits to convert
+    assert conversion(0.8, 0.0) == 1.0
+
+
+def test_fig8_error_accounting():
+    apps = ("A", "B")
+    entries = {
+        ("A", "A"): (0.20, 0.23, 0.21),
+        ("A", "B"): (0.10, 0.09, 0.10),
+        ("B", "A"): (0.05, 0.05, 0.05),
+        ("B", "B"): (0.02, 0.03, 0.02),
+    }
+    result = Fig8Result(apps=apps, entries=entries)
+    assert result.error("A", "A") == pytest.approx(0.03)
+    assert result.error_perfect("A", "A") == pytest.approx(0.01)
+    assert result.average_abs_error("A") == pytest.approx(0.02)
+    assert result.average_abs_error("A", perfect=True) == pytest.approx(0.005)
+    assert result.worst_abs_error() == pytest.approx(0.03)
+    assert "Figure 8" in result.render()
+
+
+def test_fig9_error_accounting():
+    rows = [("MON@0", "MON", 0.10, 0.11), ("FW@4", "FW", 0.01, 0.013)]
+    result = Fig9Result(rows=rows)
+    assert result.max_abs_error() == pytest.approx(0.01)
+    assert result.mean_abs_error() == pytest.approx(0.0065)
+    assert "Figure 9" in result.render()
+
+
+def _outcome(split, avg, drops=None):
+    return PlacementOutcome(split=split, per_flow_drop=drops or {},
+                            average_drop=avg)
+
+
+def test_fig10_result_gains():
+    study_real = StudyResult([
+        _outcome((("MON",) * 6, ("FW",) * 6), 0.15,
+                 {"MON@0": 0.27, "FW@6": 0.02}),
+        _outcome((("FW", "FW", "FW", "MON", "MON", "MON"),) * 2, 0.13,
+                 {"MON@3": 0.21, "FW@0": 0.02}),
+    ])
+    study_syn = StudyResult([
+        _outcome((("SYN_MAX",) * 6, ("FW",) * 6), 0.30),
+        _outcome((("FW",) * 6, ("SYN_MAX",) * 6), 0.24),
+    ])
+    result = Fig10Result(studies={"6MON+6FW": study_real,
+                                  "6SYN_MAX+6FW": study_syn})
+    assert result.gain("6MON+6FW") == pytest.approx(0.02)
+    assert result.max_realistic_gain() == pytest.approx(0.02)
+    assert result.gain("6SYN_MAX+6FW") == pytest.approx(0.06)
+    out = result.render()
+    assert "Figure 10(a)" in out and "Figure 10(b)" in out
+
+
+def test_study_result_extremes():
+    study = StudyResult([
+        _outcome((("A",) * 6, ("B",) * 6), 0.2),
+        _outcome((("A",) * 3 + ("B",) * 3,) * 2, 0.1),
+    ])
+    assert study.best.average_drop == 0.1
+    assert study.worst.average_drop == 0.2
+    assert study.scheduling_gain == pytest.approx(0.1)
+
+
+def test_pipeline_comparison_math():
+    c = Comparison(workload="X", n_stages=2, parallel_pps=100.0,
+                   pipeline_pps=160.0, parallel_refs_per_packet=5.0,
+                   pipeline_refs_per_packet=17.0)
+    assert c.per_core_ratio == pytest.approx(0.8)
+    assert c.extra_refs_per_packet == pytest.approx(12.0)
+    out = PipelineStudyResult([c]).render()
+    assert "parallel" in out and "X" in out

@@ -1,0 +1,57 @@
+"""Small end-to-end runs of the experiment modules (tiny platform)."""
+
+import pytest
+
+from repro.experiments import fig7, limits, pipeline_vs_parallel, table1
+from repro.experiments.common import ExperimentConfig
+
+TINY = ExperimentConfig(scale=64, solo_warmup=600, solo_measure=400,
+                        corun_warmup=600, corun_measure=300)
+
+
+@pytest.mark.parametrize("apps", [("IP", "FW")])
+def test_table1_runs_tiny(apps):
+    result = table1.run(TINY, apps=apps)
+    assert set(result.profiles) == set(apps)
+    out = result.render()
+    assert "Table 1" in out
+    assert result.ordering("throughput")[0] == "IP"
+
+
+def test_fig7_runs_tiny():
+    result = fig7.run(TINY, cpu_ops_levels=(360, 0), n_competitors=3)
+    assert len(result.measured) == 2
+    assert len(result.model) == 2
+    assert set(result.per_function) == set(fig7.FUNCTIONS)
+    # Conversion rates are probabilities.
+    for _, value in result.measured + result.model:
+        assert 0.0 <= value <= 1.0
+    assert result.working_set_lines > 0
+    assert "MON (measured)" in result.render()
+
+
+def test_limits_runs_tiny():
+    result = limits.run(TINY, fractions=(0.05, 0.4), n_competitors=3)
+    assert len(result.rows) == 2
+    small = result.rows[0]
+    large = result.rows[1]
+    assert small[0] < large[0]
+    # Small working sets cause less damage.
+    assert small[2] <= large[2] + 0.02
+    assert "Section 6" in result.render()
+    assert result.overestimate(0.05) == pytest.approx(
+        small[3] - small[2])
+    with pytest.raises(KeyError):
+        result.overestimate(0.123)
+
+
+def test_pipeline_vs_parallel_runs_tiny():
+    result = pipeline_vs_parallel.run(TINY, include_adversarial=False)
+    assert len(result.comparisons) == 1
+    mon = result.comparisons[0]
+    assert mon.workload == "MON"
+    assert mon.parallel_pps > 0
+    assert mon.pipeline_pps > 0
+    # Pipelining over two cores cannot double per-core efficiency.
+    assert mon.per_core_ratio < 1.2
+    assert "parallel" in result.render()

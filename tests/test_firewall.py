@@ -1,0 +1,124 @@
+"""Firewall: rule semantics and the vectorized fast path."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.firewall import Firewall, Rule, generate_unmatchable_rules
+from repro.mem.access import AccessContext
+from repro.net.addresses import prefix_mask
+from repro.net.packet import Packet
+from tests.conftest import make_env
+
+
+def packet(src=0x0A000001, dst=0x0B000001, dport=80, proto_tcp=False):
+    make = Packet.tcp if proto_tcp else Packet.udp
+    return make(src=src, dst=dst, dport=dport)
+
+
+def test_rule_matching_fields():
+    rule = Rule(src_net=0x0A000000, src_mask=prefix_mask(8),
+                dst_net=0x0B000000, dst_mask=prefix_mask(8),
+                dport_lo=80, dport_hi=90, protocol=17)
+    assert rule.matches(packet())
+    assert not rule.matches(packet(src=0x0C000001))
+    assert not rule.matches(packet(dst=0x0C000001))
+    assert not rule.matches(packet(dport=91))
+    assert not rule.matches(packet(proto_tcp=True))
+
+
+def test_rule_wildcard_protocol():
+    rule = Rule(src_net=0, src_mask=0, dst_net=0, dst_mask=0,
+                dport_lo=0, dport_hi=65535, protocol=None)
+    assert rule.matches(packet())
+    assert rule.matches(packet(proto_tcp=True))
+
+
+def test_unmatchable_rules_require_class_e_sources():
+    rules = generate_unmatchable_rules(random.Random(0), 200)
+    assert len(rules) == 200
+    for rule in rules:
+        # The masked source network sits in 240.0.0.0/4 whenever the mask
+        # covers the top nibble.
+        if rule.src_mask & 0xF0000000 == 0xF0000000:
+            assert rule.src_net >> 28 == 0xF
+
+
+def make_firewall(n_rules=100, seed=1):
+    fw = Firewall(n_rules=n_rules)
+    fw.initialize(make_env(seed=seed))
+    return fw
+
+
+def test_nonmatching_packet_passes_and_scans_all():
+    fw = make_firewall()
+    ctx = AccessContext()
+    out = fw.process(ctx, packet())
+    assert out is not None
+    assert fw.blocked == 0
+    assert ctx.n_references > 0
+
+
+def test_matching_packet_dropped():
+    env = make_env()
+    block_all = Rule(src_net=0, src_mask=0, dst_net=0, dst_mask=0,
+                     dport_lo=0, dport_hi=65535, protocol=None)
+    fw = Firewall(rules=[block_all])
+    fw.initialize(env)
+    assert fw.process(AccessContext(), packet()) is None
+    assert fw.blocked == 1
+
+
+def test_first_match_agrees_with_reference_rules():
+    fw = make_firewall(n_rules=300)
+    rng = random.Random(7)
+    for _ in range(100):
+        pkt = packet(src=rng.getrandbits(32), dst=rng.getrandbits(32),
+                     dport=rng.randrange(65536))
+        expected = None
+        for i, rule in enumerate(fw.rules):
+            if rule.matches(pkt):
+                expected = i
+                break
+        assert fw.first_match(pkt) == expected
+
+
+@given(
+    src=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dst=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dport=st.integers(min_value=0, max_value=0xFFFF),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_vectorized_equals_reference(src, dst, dport, seed):
+    """The numpy evaluation is exactly the sequential Rule.matches scan."""
+    rng = random.Random(seed)
+    rules = generate_unmatchable_rules(rng, 50)
+    # Mix in some matchable rules for coverage of the match path.
+    rules.insert(10, Rule(src_net=src & prefix_mask(16),
+                          src_mask=prefix_mask(16), dst_net=0, dst_mask=0,
+                          dport_lo=0, dport_hi=65535, protocol=None))
+    fw = Firewall(rules=rules)
+    fw.initialize(make_env(seed=seed))
+    pkt = packet(src=src, dst=dst, dport=dport)
+    expected = None
+    for i, rule in enumerate(rules):
+        if rule.matches(pkt):
+            expected = i
+            break
+    assert fw.first_match(pkt) == expected
+
+
+def test_memory_footprint_scales_but_rule_count_does_not():
+    env = make_env()
+    fw = Firewall()
+    fw.initialize(env)
+    assert len(fw.rules) == 1000
+    assert fw.region.size < 1000 * 16
+
+
+def test_requires_initialize():
+    fw = Firewall()
+    with pytest.raises(RuntimeError):
+        fw.process(AccessContext(), packet())

@@ -1,0 +1,149 @@
+"""End-to-end shape tests on a tiny platform.
+
+These exercise the paper's qualitative findings at a heavily scaled-down
+configuration (fast, loose thresholds); the quantitative reproduction
+lives in the benchmark harness.
+"""
+
+import pytest
+
+from repro.apps.registry import app_factory
+from repro.apps.synthetic import syn_factory, syn_max_factory
+from repro.core.prediction import SensitivityCurve
+from repro.core.profiler import profile_apps
+from repro.hw.counters import performance_drop
+from repro.hw.machine import Machine
+from repro.hw.topology import PlatformSpec
+
+SCALE = 32
+WARM, MEAS = 2000, 800
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return PlatformSpec.westmere().scaled(SCALE).single_socket()
+
+
+@pytest.fixture(scope="module")
+def spec2():
+    return PlatformSpec.westmere().scaled(SCALE)
+
+
+@pytest.fixture(scope="module")
+def profiles(spec):
+    return profile_apps(["IP", "MON", "FW", "RE", "VPN"], spec,
+                        warmup_packets=WARM, measure_packets=MEAS)
+
+
+def corun(spec, target, competitor_factory, n=5, warm=WARM, meas=MEAS,
+          data_domain=None, competitor_cores=None):
+    m = Machine(spec)
+    m.add_flow(app_factory(target), core=0, label="T")
+    cores = competitor_cores or range(1, 1 + n)
+    labels = []
+    for i, core in enumerate(cores):
+        fr = m.add_flow(competitor_factory, core=core,
+                        data_domain=data_domain, label=f"C{i}")
+        labels.append(fr.label)
+    result = m.run(warmup_packets=warm, measure_packets=meas)
+    return result, labels
+
+
+# -- Table 1 shapes ------------------------------------------------------------
+
+def test_solo_refs_per_sec_ordering(profiles):
+    """Paper Table 1: MON and IP lead; FW trails by an order of magnitude."""
+    refs = {a: p.l3_refs_per_sec for a, p in profiles.items()}
+    assert refs["MON"] > refs["RE"]
+    assert refs["IP"] > refs["VPN"]
+    assert refs["FW"] * 4 < refs["RE"]
+
+
+def test_solo_hits_per_sec_ordering(profiles):
+    hits = {a: p.l3_hits_per_sec for a, p in profiles.items()}
+    assert hits["MON"] > hits["IP"] > hits["FW"]
+    assert hits["MON"] > hits["RE"]
+    assert hits["MON"] > hits["VPN"]
+
+
+def test_solo_cost_ordering(profiles):
+    """FW and RE are the expensive flows; IP the cheapest."""
+    cpp = {a: p.cycles_per_packet for a, p in profiles.items()}
+    assert cpp["FW"] > 5 * cpp["MON"]
+    assert cpp["RE"] > cpp["MON"] > cpp["IP"]
+    assert cpp["VPN"] > cpp["MON"]
+
+
+def test_vpn_is_cpu_intensive(profiles):
+    """VPN has the lowest cycles/instruction (ALU-dense AES)."""
+    cpi = {a: p.cycles_per_instruction for a, p in profiles.items()}
+    assert cpi["VPN"] == min(cpi.values())
+
+
+# -- contention shapes ----------------------------------------------------------
+
+def test_mon_is_sensitive_fw_is_not(spec, profiles):
+    r_mon, _ = corun(spec, "MON", syn_max_factory())
+    r_fw, _ = corun(spec, "FW", syn_max_factory())
+    drop_mon = performance_drop(profiles["MON"].throughput,
+                                r_mon["T"].packets_per_sec)
+    drop_fw = performance_drop(profiles["FW"].throughput,
+                               r_fw["T"].packets_per_sec)
+    assert drop_mon > 0.08
+    assert drop_fw < drop_mon / 2
+
+
+def test_drop_grows_with_competition(spec, profiles):
+    drops = []
+    for ops in (720, 60, 0):
+        result, _ = corun(spec, "MON", syn_factory(cpu_ops_per_ref=ops))
+        drops.append(performance_drop(profiles["MON"].throughput,
+                                      result["T"].packets_per_sec))
+    assert drops[0] < drops[-1]
+    assert all(d > -0.03 for d in drops)
+
+
+def test_contention_converts_hits_to_misses(spec):
+    m = Machine(spec)
+    m.add_flow(app_factory("MON"), core=0, label="T")
+    solo = m.run(warmup_packets=WARM, measure_packets=MEAS)["T"]
+    crowded, _ = corun(spec, "MON", syn_max_factory())
+    assert crowded["T"].l3_hit_rate < solo.l3_hit_rate
+    # Per-function: the uniformly-accessed flow table converts, the
+    # per-packet bookkeeping lines do not (Figure 7).
+    solo_fs = solo.tag_hit_rate("flow_statistics")
+    corun_fs = crowded["T"].tag_hit_rate("flow_statistics")
+    assert corun_fs < solo_fs
+    assert crowded["T"].tag_hit_rate("skb_recycle") > 0.8
+
+
+def test_cache_dominates_memory_controller(spec2, profiles):
+    """Figure 4: cache-only contention hurts far more than MC-only."""
+    solo_m = Machine(spec2)
+    solo_m.add_flow(app_factory("MON"), core=0, label="T")
+    solo = solo_m.run(warmup_packets=WARM, measure_packets=MEAS)["T"]
+
+    cache_only, _ = corun(spec2, "MON", syn_max_factory(), data_domain=1)
+    mc_only, _ = corun(spec2, "MON", syn_max_factory(), data_domain=0,
+                       competitor_cores=range(6, 11))
+    drop_cache = performance_drop(solo.packets_per_sec,
+                                  cache_only["T"].packets_per_sec)
+    drop_mc = performance_drop(solo.packets_per_sec,
+                               mc_only["T"].packets_per_sec)
+    assert drop_cache > drop_mc
+    assert drop_mc < 0.12
+
+
+def test_sensitivity_curve_flattens(spec, profiles):
+    """Observation (c): sharp rise, then a flat tail."""
+    points = []
+    for ops in (1440, 360, 60, 0):
+        result, labels = corun(spec, "MON", syn_factory(cpu_ops_per_ref=ops))
+        competing = sum(result[l].l3_refs_per_sec for l in labels)
+        points.append((competing, performance_drop(
+            profiles["MON"].throughput, result["T"].packets_per_sec)))
+    curve = SensitivityCurve("MON", points)
+    xs, ys = curve.refs, curve.drops
+    early_slope = (ys[2] - ys[0]) / (xs[2] - xs[0])
+    late_slope = (ys[-1] - ys[-2]) / max(1.0, (xs[-1] - xs[-2]))
+    assert early_slope > 2 * late_slope

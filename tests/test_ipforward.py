@@ -1,0 +1,96 @@
+"""IP forwarding elements: lookup and TTL/checksum."""
+
+import pytest
+
+from repro.apps.ipforward import DecIPTTL, RadixIPLookup
+from repro.apps.radixtrie import RadixTrie
+from repro.mem.access import AccessContext
+from repro.net.checksum import internet_checksum
+from repro.net.packet import Packet
+from tests.conftest import make_env
+
+
+def make_lookup(routes):
+    trie = RadixTrie()
+    for prefix, plen, hop in routes:
+        trie.insert(prefix, plen, hop)
+    element = RadixIPLookup(trie=trie)
+    element.initialize(make_env())
+    return element
+
+
+def test_lookup_annotates_next_hop():
+    element = make_lookup([(0x0A000000, 8, 3)])
+    pkt = Packet.udp(src=1, dst=0x0A010203)
+    out = element.process(AccessContext(), pkt)
+    assert out.annotations["next_hop"] == 3
+    assert element.lookups == 1
+
+
+def test_lookup_drops_unroutable():
+    element = make_lookup([(0x0A000000, 8, 3)])
+    pkt = Packet.udp(src=1, dst=0x0B000000)
+    assert element.process(AccessContext(), pkt) is None
+    assert element.no_route == 1
+
+
+def test_lookup_records_trie_references():
+    element = make_lookup([(0x0A000000, 8, 1), (0x0A010000, 16, 2)])
+    ctx = AccessContext()
+    element.process(ctx, Packet.udp(src=1, dst=0x0A010203))
+    region_lines = set(range(element.region.base >> 6,
+                             element.region.end >> 6))
+    assert ctx.n_references >= 2
+    assert all(line in region_lines for line in ctx.lines_touched())
+
+
+def test_lookup_builds_scaled_table_by_default():
+    env = make_env()
+    element = RadixIPLookup()
+    element.initialize(env)
+    assert element.trie.n_routes >= env.spec.scale_table(128_000)
+    assert element.region.size == \
+        ((element.trie.total_bytes + 63) // 64) * 64
+
+
+def test_lookup_requires_initialize():
+    with pytest.raises(RuntimeError):
+        RadixIPLookup().process(AccessContext(), Packet.udp(src=1, dst=2))
+
+
+def test_dec_ttl_decrements_and_updates_checksum():
+    element = DecIPTTL()
+    pkt = Packet.udp(src=1, dst=2, ttl=64, compute_checksum=True)
+    assert pkt.ip.is_valid()
+    out = element.process(AccessContext(), pkt)
+    assert out.ip.ttl == 63
+    # The incrementally updated checksum must equal a full recompute.
+    assert out.ip.checksum == out.ip.compute_checksum()
+    assert out.ip.is_valid()
+
+
+def test_dec_ttl_drops_expiring():
+    element = DecIPTTL()
+    pkt = Packet.udp(src=1, dst=2, ttl=1)
+    assert element.process(AccessContext(), pkt) is None
+    assert element.expired == 1
+
+
+def test_dec_ttl_offloaded_checksum_untouched():
+    element = DecIPTTL()
+    pkt = Packet.udp(src=1, dst=2, ttl=10)
+    out = element.process(AccessContext(), pkt)
+    assert out.ip.checksum == 0
+
+
+def test_dec_ttl_repeated_hops():
+    element = DecIPTTL()
+    pkt = Packet.udp(src=1, dst=2, ttl=5, compute_checksum=True)
+    hops = 0
+    while True:
+        out = element.process(AccessContext(), pkt)
+        if out is None:
+            break
+        hops += 1
+        assert out.ip.is_valid()
+    assert hops == 4

@@ -1,0 +1,45 @@
+"""TableLayout helpers."""
+
+import pytest
+
+from repro.mem.layout import TableLayout
+from repro.mem.region import Region
+
+
+def region(size=1024, base=0):
+    return Region(name="t", base=base, size=size, domain=0)
+
+
+def test_entry_count_and_offsets():
+    layout = TableLayout(region(1024), entry_bytes=32)
+    assert layout.n_entries == 32
+    assert layout.offset(0) == 0
+    assert layout.offset(3) == 96
+    assert len(layout) == 32
+
+
+def test_entry_line():
+    layout = TableLayout(region(1024, base=128), entry_bytes=32)
+    assert layout.line(0) == 2
+    assert layout.line(2) == 3
+
+
+def test_entries_per_line():
+    assert TableLayout(region(), entry_bytes=16).entries_per_line() == 4
+    assert TableLayout(region(), entry_bytes=64).entries_per_line() == 1
+    assert TableLayout(region(), entry_bytes=128).entries_per_line() == 1
+
+
+def test_bounds_checked():
+    layout = TableLayout(region(128), entry_bytes=64)
+    with pytest.raises(IndexError):
+        layout.offset(2)
+    with pytest.raises(IndexError):
+        layout.offset(-1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TableLayout(region(), entry_bytes=0)
+    with pytest.raises(ValueError):
+        TableLayout(region(64), entry_bytes=128)

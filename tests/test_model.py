@@ -1,0 +1,85 @@
+"""Appendix A cache-sharing model."""
+
+import pytest
+
+from repro.core.model import CacheModel
+
+
+def make_model(cache_lines=196_608, hits=21e6, chunks=50_000):
+    return CacheModel(cache_lines=cache_lines, target_hits_per_sec=hits,
+                      working_set_chunks=chunks)
+
+
+def test_no_competition_no_conversion():
+    m = make_model()
+    assert m.conversion_rate(0.0) == pytest.approx(0.0, abs=1e-9)
+    assert m.hit_probability(0.0) == pytest.approx(1.0)
+
+
+def test_conversion_increases_with_competition():
+    m = make_model()
+    rates = [m.conversion_rate(r) for r in (1e6, 10e6, 50e6, 200e6)]
+    assert rates == sorted(rates)
+    assert all(0.0 <= r <= 1.0 for r in rates)
+
+
+def test_paper_shape_sharp_rise_then_flatten():
+    """The slope at low competition far exceeds the slope past the knee."""
+    m = make_model()
+    early = m.conversion_rate(20e6) - m.conversion_rate(0.0)
+    late = m.conversion_rate(270e6) - m.conversion_rate(250e6)
+    assert early > 10 * late
+
+
+def test_p_ev_is_inverse_cache_size():
+    m = make_model(cache_lines=1000)
+    assert m.p_ev == pytest.approx(1e-3)
+
+
+def test_p_t_behaviour():
+    m = make_model()
+    assert m.p_t(0.0) == pytest.approx(1.0)
+    assert 0.0 < m.p_t(50e6) < 1.0
+    # More competition -> smaller chance the next ref is the target's.
+    assert m.p_t(100e6) < m.p_t(10e6)
+
+
+def test_bigger_cache_converts_less():
+    small = make_model(cache_lines=10_000)
+    big = make_model(cache_lines=1_000_000)
+    assert big.conversion_rate(50e6) < small.conversion_rate(50e6)
+
+
+def test_faster_target_resists_conversion():
+    slow = make_model(hits=1e6)
+    fast = make_model(hits=100e6)
+    assert fast.conversion_rate(50e6) < slow.conversion_rate(50e6)
+
+
+def test_estimated_drop_bounded_by_worst_case():
+    from repro.core.equation1 import worst_case_drop
+
+    m = make_model()
+    drop = m.estimated_drop(100e6)
+    assert 0.0 < drop <= worst_case_drop(m.target_hits_per_sec) + 1e-9
+
+
+def test_curve_helper():
+    m = make_model()
+    pts = m.curve([0.0, 1e6, 2e6])
+    assert len(pts) == 3
+    assert pts[0][1] <= pts[1][1] <= pts[2][1]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CacheModel(cache_lines=0, target_hits_per_sec=1, working_set_chunks=1)
+    with pytest.raises(ValueError):
+        CacheModel(cache_lines=10, target_hits_per_sec=-1,
+                   working_set_chunks=1)
+    with pytest.raises(ValueError):
+        CacheModel(cache_lines=10, target_hits_per_sec=1,
+                   working_set_chunks=0)
+    m = make_model()
+    with pytest.raises(ValueError):
+        m.p_t(-1.0)

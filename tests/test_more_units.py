@@ -1,0 +1,118 @@
+"""Additional edge-case tests across modules."""
+
+import pytest
+
+from repro.apps.aes import AES128
+from repro.apps.registry import make_app
+from repro.click.element import Element
+from repro.click.handoff import HandoffQueue
+from repro.mem.access import AccessContext
+from repro.net.checksum import internet_checksum
+from repro.net.packet import Packet
+from tests.conftest import make_env
+
+
+class NullMachine:
+    def invalidate_private(self, lines, core):
+        pass
+
+
+def test_aes_key_expansion_fips_vector():
+    """FIPS-197 A.1: the first expanded round-key words for the test key."""
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    words = AES128(key)._rk
+    assert len(words) == 44
+    assert words[0] == 0x2B7E1516
+    assert words[4] == 0xA0FAFE17  # first derived word
+    assert words[43] == 0xB6630CA6  # last word of the schedule
+
+
+def test_aes_distinct_keys_distinct_ciphertexts():
+    block = b"\x00" * 16
+    a = AES128(b"\x00" * 16).encrypt_block(block)
+    b = AES128(b"\x01" + b"\x00" * 15).encrypt_block(block)
+    assert a != b
+
+
+def test_handoff_queue_wraps_ring():
+    queue = HandoffQueue(capacity=2)
+    queue.initialize(make_env())
+    machine = NullMachine()
+    for round_no in range(5):
+        assert queue.push(AccessContext(), round_no, machine)
+        assert queue.pop(AccessContext(), machine) == round_no
+    assert queue.pushed == 5 and queue.popped == 5
+
+
+def test_handoff_queue_interleaved_capacity():
+    queue = HandoffQueue(capacity=3)
+    queue.initialize(make_env())
+    machine = NullMachine()
+    ctx = AccessContext()
+    queue.push(ctx, "a", machine)
+    queue.push(ctx, "b", machine)
+    assert queue.pop(ctx, machine) == "a"
+    queue.push(ctx, "c", machine)
+    queue.push(ctx, "d", machine)
+    assert queue.full
+    assert not queue.push(ctx, "e", machine)
+    assert [queue.pop(ctx, machine) for _ in range(3)] == ["b", "c", "d"]
+    assert queue.empty
+
+
+def test_element_base_defaults():
+    class Bare(Element):
+        def process(self, ctx, packet):
+            return packet
+
+    element = Bare()
+    assert element.n_outputs == 1
+    assert element.name == "Bare"
+    element.initialize(make_env())  # default no-op must not raise
+
+
+def test_element_process_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Element().process(AccessContext(), Packet.udp(src=1, dst=2))
+
+
+def test_checksum_full_ipv4_header_example():
+    # RFC 1071-style check on a fully populated header.
+    header = bytes.fromhex(
+        "450000730000400040110000c0a80001c0a800c7")
+    csum = internet_checksum(header)
+    assert csum == 0xB861  # well-known worked example
+
+
+def test_realistic_app_regions_do_not_overlap():
+    env = make_env()
+    app = make_app("MON", env)
+    regions = env.space.all_regions()
+    assert len(regions) > 3
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert not a.overlaps(b), (a, b)
+
+
+def test_apps_in_same_env_share_address_space_safely():
+    env = make_env()
+    make_app("IP", env)
+    make_app("RE", env)
+    regions = env.space.all_regions()
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert not a.overlaps(b)
+
+
+def test_packet_annotations_are_lazy():
+    p = Packet.udp(src=1, dst=2)
+    assert p.annotations is None
+    p.annotations = {"k": 1}
+    assert p.annotations["k"] == 1
+
+
+def test_packet_repr_is_readable():
+    p = Packet.udp(src=0x0A000001, dst=0x0A000002, sport=5, dport=6)
+    text = repr(p)
+    assert "10.0.0.1:5" in text
+    assert "10.0.0.2:6" in text

@@ -1,0 +1,100 @@
+"""SharedCoreFlow: round-robin core sharing."""
+
+import pytest
+
+from repro.apps.registry import app_factory
+from repro.click.multiflow import SharedCoreFlow, shared_core_factory
+from repro.hw.machine import Machine
+from repro.hw.topology import PlatformSpec
+from repro.mem.access import AccessContext
+from tests.conftest import make_env
+
+
+class CountingFlow:
+    name = "counting"
+    measure_weight = 1.0
+
+    def __init__(self, env, tag):
+        self.region = env.space.domain(env.domain).alloc(4096, f"r{tag}")
+        self.tag = tag
+        self.packets = 0
+
+    def run_packet(self, ctx):
+        self.packets += 1
+        ctx.compute(50, 20)
+        ctx.touch(self.region, 0, 8)
+        return None
+
+
+def test_round_robin_alternates():
+    env = make_env()
+    a, b = CountingFlow(env, "a"), CountingFlow(env, "b")
+    shared = SharedCoreFlow([a, b])
+    for _ in range(10):
+        ctx = AccessContext()
+        shared.run_packet(ctx)
+    assert a.packets == 5
+    assert b.packets == 5
+    assert shared.turns == [5, 5]
+
+
+def test_three_way_sharing():
+    env = make_env()
+    flows = [CountingFlow(env, str(i)) for i in range(3)]
+    shared = SharedCoreFlow(flows)
+    for _ in range(9):
+        shared.run_packet(AccessContext())
+    assert [f.packets for f in flows] == [3, 3, 3]
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        SharedCoreFlow([])
+
+
+def test_measure_weight_is_mean_of_members():
+    env = make_env()
+
+    class Heavy(CountingFlow):
+        measure_weight = 0.2
+
+    shared = SharedCoreFlow([CountingFlow(env, "a"), Heavy(env, "b")])
+    assert shared.measure_weight == pytest.approx(0.6)
+
+
+def test_runs_on_machine():
+    spec = PlatformSpec.westmere().scaled(64)
+    machine = Machine(spec)
+    machine.add_flow(
+        shared_core_factory([app_factory("IP"), app_factory("IP")],
+                            name="2xIP"),
+        core=0, label="2xIP",
+    )
+    stats = machine.run(warmup_packets=200, measure_packets=400)["2xIP"]
+    assert stats.packets == 400
+    flow = machine.flows[0].flow
+    assert sum(flow.turns) >= 600
+    # Turns split evenly.
+    assert abs(flow.turns[0] - flow.turns[1]) <= 1
+
+
+def test_sharing_slower_than_solo_per_turn():
+    """Two cache-hungry flows interleaved pay L1/L2 interference."""
+    spec = PlatformSpec.westmere().scaled(32)
+
+    def run_shared():
+        machine = Machine(spec)
+        machine.add_flow(
+            shared_core_factory([app_factory("MON"), app_factory("MON")]),
+            core=0, label="s",
+        )
+        return machine.run(warmup_packets=1500,
+                           measure_packets=800)["s"].packets_per_sec
+
+    def run_solo():
+        machine = Machine(spec)
+        machine.add_flow(app_factory("MON"), core=0, label="m")
+        return machine.run(warmup_packets=1500,
+                           measure_packets=800)["m"].packets_per_sec
+
+    assert run_shared() < run_solo()

@@ -1,0 +1,83 @@
+"""Packet construction, hashing, and serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Packet
+
+
+def test_udp_constructor_lengths():
+    p = Packet.udp(src=1, dst=2, payload=b"x" * 100)
+    assert p.ip.total_length == 20 + 8 + 100
+    assert p.l4.length == 108
+    assert p.wire_length == 14 + 128
+    assert p.header_bytes == 14 + 20 + 8
+
+
+def test_tcp_constructor():
+    p = Packet.tcp(src=1, dst=2, payload=b"y" * 10, seq=7)
+    assert p.ip.protocol == 6
+    assert p.l4.seq == 7
+    assert p.ip.total_length == 20 + 20 + 10
+
+
+def test_checksum_offload_default():
+    p = Packet.udp(src=1, dst=2)
+    assert p.ip.checksum == 0
+    q = Packet.udp(src=1, dst=2, compute_checksum=True)
+    assert q.ip.checksum != 0
+    assert q.ip.is_valid()
+
+
+def test_five_tuple_and_hash_stability():
+    p = Packet.udp(src=1, dst=2, sport=3, dport=4)
+    q = Packet.udp(src=1, dst=2, sport=3, dport=4)
+    assert p.five_tuple() == (1, 2, 17, 3, 4)
+    assert p.flow_hash() == q.flow_hash()
+
+
+def test_hash_differs_across_flows():
+    hashes = {
+        Packet.udp(src=s, dst=d, sport=sp, dport=dp).flow_hash()
+        for s, d, sp, dp in [(1, 2, 3, 4), (1, 2, 3, 5), (1, 2, 4, 4),
+                             (1, 3, 3, 4), (2, 2, 3, 4)]
+    }
+    assert len(hashes) == 5
+
+
+def test_serialization_roundtrip_udp():
+    p = Packet.udp(src=0x0A000001, dst=0x0A000002, sport=1000, dport=2000,
+                   payload=b"hello world", compute_checksum=True)
+    q = Packet.from_bytes(p.to_bytes())
+    assert q.five_tuple() == p.five_tuple()
+    assert q.payload == b"hello world"
+    assert q.ip.checksum == p.ip.checksum
+
+
+def test_serialization_roundtrip_tcp():
+    p = Packet.tcp(src=5, dst=6, payload=b"abc", compute_checksum=True)
+    q = Packet.from_bytes(p.to_bytes())
+    assert q.payload == b"abc"
+    assert q.ip.protocol == 6
+
+
+def test_from_bytes_rejects_unknown_protocol():
+    p = Packet.udp(src=1, dst=2, compute_checksum=True)
+    p.ip.protocol = 47  # GRE
+    with pytest.raises(ValueError):
+        Packet.from_bytes(p.to_bytes())
+
+
+@given(
+    src=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    dst=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    sport=st.integers(min_value=0, max_value=0xFFFF),
+    dport=st.integers(min_value=0, max_value=0xFFFF),
+    payload=st.binary(max_size=200),
+)
+def test_property_udp_serialization_roundtrip(src, dst, sport, dport, payload):
+    p = Packet.udp(src=src, dst=dst, sport=sport, dport=dport,
+                   payload=payload, compute_checksum=True)
+    q = Packet.from_bytes(p.to_bytes())
+    assert q.five_tuple() == p.five_tuple()
+    assert q.payload == payload

@@ -1,0 +1,106 @@
+"""The RE packet store: circular content cache with eviction detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.packetstore import PacketStore
+
+
+def test_append_and_get():
+    store = PacketStore(256)
+    off = store.append(b"hello")
+    assert off == 0
+    assert store.get(off, 5) == b"hello"
+
+
+def test_sequential_appends():
+    store = PacketStore(256)
+    a = store.append(b"aaaa")
+    b = store.append(b"bbbb")
+    assert b == 4
+    assert store.get(a, 4) == b"aaaa"
+    assert store.get(b, 4) == b"bbbb"
+
+
+def test_wraparound_content():
+    store = PacketStore(8)
+    store.append(b"12345678")
+    off = store.append(b"ABCD")  # wraps to the start
+    assert store.get(off, 4) == b"ABCD"
+
+
+def test_get_spanning_wrap():
+    store = PacketStore(8)
+    store.append(b"123456")
+    off = store.append(b"XYZW")  # bytes 6,7 then 0,1
+    assert store.get(off, 4) == b"XYZW"
+
+
+def test_eviction_detected():
+    store = PacketStore(8)
+    first = store.append(b"AAAA")
+    store.append(b"BBBB")
+    store.append(b"CCCC")  # overwrites the first append
+    assert store.get(first, 4) is None
+
+
+def test_unwritten_range_is_none():
+    store = PacketStore(64)
+    store.append(b"xy")
+    assert store.get(0, 3) is None
+    assert store.get(5, 1) is None
+
+
+def test_empty_get():
+    store = PacketStore(16)
+    assert store.get(0, 0) == b""
+
+
+def test_contains():
+    store = PacketStore(8)
+    off = store.append(b"abcd")
+    assert store.contains(off, 4)
+    store.append(b"efghijkl")
+    assert not store.contains(off, 4)
+
+
+def test_rejects_oversized_append():
+    store = PacketStore(4)
+    with pytest.raises(ValueError):
+        store.append(b"too big!")
+
+
+def test_rejects_negative_args():
+    store = PacketStore(16)
+    with pytest.raises(ValueError):
+        store.get(-1, 2)
+    with pytest.raises(ValueError):
+        store.get(0, -2)
+    with pytest.raises(ValueError):
+        PacketStore(0)
+
+
+def test_oldest_valid_tracks_overwrite():
+    store = PacketStore(10)
+    store.append(b"0123456789")
+    assert store.oldest_valid == 0
+    store.append(b"ab")
+    assert store.oldest_valid == 2
+
+
+@given(st.lists(st.binary(min_size=1, max_size=20), min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_property_resident_content_reads_back(chunks):
+    """Any chunk still within the capacity window reads back intact."""
+    store = PacketStore(64)
+    placed = []
+    for chunk in chunks:
+        if len(chunk) > 64:
+            continue
+        placed.append((store.append(chunk), chunk))
+    for off, chunk in placed:
+        got = store.get(off, len(chunk))
+        if store.contains(off, len(chunk)):
+            assert got == chunk
+        else:
+            assert got is None

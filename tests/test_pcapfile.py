@@ -1,0 +1,129 @@
+"""pcap reader/writer."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import Packet
+from repro.net.pcapfile import (
+    LINKTYPE_ETHERNET,
+    PCAP_MAGIC,
+    PcapReader,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+
+
+def packets(n=5):
+    return [Packet.udp(src=i, dst=i + 1, sport=1000 + i, dport=2000,
+                       payload=bytes([i]) * 10, compute_checksum=True)
+            for i in range(n)]
+
+
+def test_roundtrip_in_memory():
+    buf = io.BytesIO()
+    writer = PcapWriter(buf)
+    original = packets()
+    writer.write_all(original, interval=0.001)
+    assert writer.packets_written == 5
+
+    buf.seek(0)
+    reader = PcapReader(buf)
+    assert reader.linktype == LINKTYPE_ETHERNET
+    restored = list(reader.packets())
+    assert len(restored) == 5
+    for (ts, got), want in zip(restored, original):
+        assert got.five_tuple() == want.five_tuple()
+        assert got.payload == want.payload
+    times = [ts for ts, _ in restored]
+    assert times == sorted(times)
+    assert times[1] == pytest.approx(0.001, abs=1e-6)
+
+
+def test_roundtrip_via_files(tmp_path):
+    path = str(tmp_path / "trace.pcap")
+    original = packets(8)
+    assert write_pcap(path, original) == 8
+    restored = read_pcap(path)
+    assert [p.five_tuple() for p in restored] == \
+        [p.five_tuple() for p in original]
+
+
+def test_global_header_layout():
+    buf = io.BytesIO()
+    PcapWriter(buf, snaplen=4096)
+    raw = buf.getvalue()
+    magic, major, minor, _, _, snaplen, link = struct.unpack("<IHHiIII", raw)
+    assert magic == PCAP_MAGIC
+    assert (major, minor) == (2, 4)
+    assert snaplen == 4096
+    assert link == LINKTYPE_ETHERNET
+
+
+def test_reader_rejects_garbage():
+    with pytest.raises(ValueError):
+        PcapReader(io.BytesIO(b"not a pcap file at all......"))
+    with pytest.raises(ValueError):
+        PcapReader(io.BytesIO(b"\x00" * 4))
+
+
+def test_reader_rejects_wrong_linktype():
+    buf = io.BytesIO()
+    buf.write(struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 101))
+    buf.seek(0)
+    with pytest.raises(ValueError, match="link type"):
+        PcapReader(buf)
+
+
+def test_reader_handles_big_endian():
+    buf = io.BytesIO()
+    buf.write(struct.pack(">IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535,
+                          LINKTYPE_ETHERNET))
+    data = packets(1)[0].to_bytes()
+    buf.write(struct.pack(">IIII", 1, 2, len(data), len(data)))
+    buf.write(data)
+    buf.seek(0)
+    got = list(PcapReader(buf).packets())
+    assert len(got) == 1
+
+
+def test_reader_detects_truncation():
+    buf = io.BytesIO()
+    writer = PcapWriter(buf)
+    writer.write(packets(1)[0])
+    truncated = buf.getvalue()[:-4]
+    reader = PcapReader(io.BytesIO(truncated))
+    with pytest.raises(ValueError, match="truncated"):
+        list(reader)
+
+
+def test_unparseable_records_skipped_unless_strict():
+    buf = io.BytesIO()
+    writer = PcapWriter(buf)
+    good = packets(1)[0]
+    writer.write(good)
+    # A raw non-IP record.
+    junk = b"\xff" * 40
+    buf.write(struct.pack("<IIII", 0, 0, len(junk), len(junk)))
+    buf.write(junk)
+    buf.seek(0)
+    got = list(PcapReader(buf).packets())
+    assert len(got) == 1
+    buf.seek(0)
+    with pytest.raises(ValueError):
+        list(PcapReader(buf).packets(strict=True))
+
+
+@given(st.lists(st.binary(max_size=64), min_size=1, max_size=10))
+@settings(max_examples=25, deadline=None)
+def test_property_payloads_roundtrip(payloads):
+    original = [Packet.udp(src=1, dst=2, payload=p, compute_checksum=True)
+                for p in payloads]
+    buf = io.BytesIO()
+    PcapWriter(buf).write_all(original)
+    buf.seek(0)
+    restored = [p for _, p in PcapReader(buf).packets()]
+    assert [p.payload for p in restored] == payloads

@@ -1,0 +1,171 @@
+"""Pipelines (run-to-completion flows) and the Router configuration graph."""
+
+import pytest
+
+from repro.click.element import Element
+from repro.click.elements.classifier import Classifier, Pattern
+from repro.click.elements.counter import Counter
+from repro.click.elements.discard import Discard
+from repro.click.pipeline import Pipeline
+from repro.click.router import Router
+from repro.mem.access import AccessContext
+from repro.net.flowgen import UniformRandomTraffic
+from repro.net.packet import Packet
+from tests.conftest import make_env
+
+
+class Tagger(Element):
+    """Marks packets so tests can observe element ordering."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def process(self, ctx, packet):
+        ctx.compute(5, 5)
+        marks = (packet.annotations or {}).setdefault("marks", [])
+        marks.append(self.label)
+        packet.annotations = packet.annotations or {"marks": marks}
+        return packet
+
+
+class DropAll(Element):
+    def process(self, ctx, packet):
+        ctx.compute(1, 1)
+        return None
+
+
+def make_pipeline(elements, env=None):
+    env = env or make_env()
+    return Pipeline(
+        name="test", env=env,
+        source=UniformRandomTraffic(env.rng, payload_bytes=32),
+        elements=elements,
+    )
+
+
+def test_pipeline_runs_elements_in_order():
+    pipe = make_pipeline([Tagger("a"), Tagger("b"), Tagger("c")])
+    ctx = AccessContext()
+    pipe.run_packet(ctx)
+    # Use process_one to observe marks directly.
+    pkt = Packet.udp(src=1, dst=2)
+    pipe.process_one(AccessContext(), pkt)
+    assert pkt.annotations["marks"] == ["a", "b", "c"]
+
+
+def test_pipeline_counts_drops():
+    pipe = make_pipeline([DropAll()])
+    pipe.run_packet(AccessContext())
+    assert pipe.dropped == 1
+    assert pipe.tx.sent == 0
+
+
+def test_pipeline_transmits_survivors():
+    pipe = make_pipeline([Tagger("x")])
+    pipe.run_packet(AccessContext())
+    assert pipe.tx.sent == 1
+
+
+def test_pipeline_returns_dma_lines():
+    pipe = make_pipeline([])
+    dma = pipe.run_packet(AccessContext())
+    assert dma
+    assert all(isinstance(line, int) for line in dma)
+
+
+def test_pipeline_tuple_results_flow_through():
+    pipe = make_pipeline([Classifier([Pattern(protocol=17)]), Tagger("t")])
+    pipe.run_packet(AccessContext())
+    assert pipe.tx.sent == 1
+
+
+def test_process_one_skips_rx_tx():
+    pipe = make_pipeline([Tagger("only")])
+    pkt = Packet.udp(src=1, dst=2)
+    out = pipe.process_one(AccessContext(), pkt)
+    assert out is pkt
+    assert pipe.tx.sent == 0
+
+
+# -- Router ---------------------------------------------------------------------
+
+def test_router_linear_path():
+    r = Router()
+    r.add("in", Tagger("in"))
+    r.add("mid", Tagger("mid"))
+    r.add("count", Counter())
+    r.element("count").initialize(make_env())
+    r.connect("in", "mid")
+    r.connect("mid", "count")
+    r.validate()
+    pkt = Packet.udp(src=1, dst=2)
+    end, out = r.push(AccessContext(), pkt, "in")
+    assert end == "count"
+    assert pkt.annotations["marks"] == ["in", "mid"]
+
+
+def test_router_branches_by_classifier():
+    r = Router()
+    r.add("cls", Classifier([Pattern(protocol=6)]))
+    r.add("tcp", Tagger("tcp"))
+    r.add("other", Tagger("other"))
+    r.connect("cls", "tcp", port=0)
+    r.connect("cls", "other", port=1)
+    r.validate()
+    _, tcp_pkt = r.push(AccessContext(), Packet.tcp(src=1, dst=2), "cls")
+    assert tcp_pkt.annotations["marks"] == ["tcp"]
+    _, udp_pkt = r.push(AccessContext(), Packet.udp(src=1, dst=2), "cls")
+    assert udp_pkt.annotations["marks"] == ["other"]
+
+
+def test_router_drop_returns_none():
+    r = Router()
+    r.add("drop", Discard())
+    assert r.push(AccessContext(), Packet.udp(src=1, dst=2), "drop") is None
+
+
+def test_router_rejects_duplicate_names():
+    r = Router()
+    r.add("x", Tagger("x"))
+    with pytest.raises(ValueError):
+        r.add("x", Tagger("x2"))
+
+
+def test_router_rejects_bad_connections():
+    r = Router()
+    r.add("a", Tagger("a"))
+    with pytest.raises(ValueError):
+        r.connect("a", "nope")
+    with pytest.raises(ValueError):
+        r.connect("nope", "a")
+    with pytest.raises(ValueError):
+        r.connect("a", "a", port=5)
+    r.connect("a", "a")  # self-loop allowed structurally...
+    with pytest.raises(ValueError):
+        r.validate()      # ...but rejected as a cycle
+
+
+def test_router_detects_open_ports():
+    r = Router()
+    r.add("cls", Classifier([Pattern(protocol=6)]))
+    r.add("t", Tagger("t"))
+    r.connect("cls", "t", port=0)
+    with pytest.raises(ValueError, match="open"):
+        r.validate()
+
+
+def test_router_double_connection_rejected():
+    r = Router()
+    r.add("a", Tagger("a"))
+    r.add("b", Tagger("b"))
+    r.connect("a", "b")
+    with pytest.raises(ValueError, match="already"):
+        r.connect("a", "b")
+
+
+def test_router_graph_summary():
+    r = Router()
+    r.add("a", Tagger("a"))
+    r.add("b", Tagger("b"))
+    r.connect("a", "b")
+    assert r.graph_summary() == ["a[0] -> b"]

@@ -1,0 +1,101 @@
+"""Sensitivity curves and the prediction method (unit level)."""
+
+import pytest
+
+from repro.core.prediction import ContentionPredictor, SensitivityCurve
+from repro.core.profiler import SoloProfile
+
+
+def profile(app, refs=20e6, throughput=3e6, hits=15e6):
+    return SoloProfile(
+        app=app, throughput=throughput, cycles_per_instruction=1.4,
+        l3_refs_per_sec=refs, l3_hits_per_sec=hits, cycles_per_packet=900,
+        l3_refs_per_packet=6, l3_misses_per_packet=1.5, l2_hits_per_packet=2,
+    )
+
+
+def curve(app, points):
+    return SensitivityCurve(app=app, points=list(points))
+
+
+def test_curve_always_anchored_at_zero():
+    c = curve("X", [(10e6, 0.1)])
+    assert c.points[0] == (0.0, 0.0)
+    assert c.predict(0.0) == 0.0
+
+
+def test_curve_interpolates_linearly():
+    c = curve("X", [(10e6, 0.1), (20e6, 0.3)])
+    assert c.predict(15e6) == pytest.approx(0.2)
+
+
+def test_curve_clamps_beyond_last_point():
+    c = curve("X", [(10e6, 0.1), (20e6, 0.3)])
+    assert c.predict(100e6) == pytest.approx(0.3)
+
+
+def test_curve_rejects_negative_competition():
+    c = curve("X", [(10e6, 0.1)])
+    with pytest.raises(ValueError):
+        c.predict(-1.0)
+
+
+def test_curve_sorts_points():
+    c = curve("X", [(20e6, 0.3), (10e6, 0.1)])
+    assert [x for x, _ in c.points] == [0.0, 10e6, 20e6]
+
+
+def test_turning_point():
+    c = curve("X", [(10e6, 0.10), (20e6, 0.18), (40e6, 0.20), (80e6, 0.20)])
+    tp = c.turning_point(fraction=0.8)
+    # 80% of max (0.16) is crossed between 10M and 20M.
+    assert 10e6 < tp < 20e6
+
+
+def test_turning_point_flat_curve():
+    c = curve("X", [(10e6, 0.0)])
+    assert c.turning_point() == 0.0
+
+
+def make_predictor():
+    profiles = {
+        "A": profile("A", refs=20e6),
+        "B": profile("B", refs=5e6),
+    }
+    curves = {
+        "A": curve("A", [(25e6, 0.10), (100e6, 0.20)]),
+        "B": curve("B", [(25e6, 0.02), (100e6, 0.05)]),
+    }
+    return ContentionPredictor(profiles, curves)
+
+
+def test_competing_refs_sums_solo_profiles():
+    p = make_predictor()
+    assert p.competing_refs(["A", "B", "B"]) == pytest.approx(30e6)
+
+
+def test_predict_drop_reads_target_curve():
+    p = make_predictor()
+    # Competing refs = 20e6 + 5e6 = 25e6 -> exactly the first curve point.
+    assert p.predict_drop("A", ["A", "B"]) == pytest.approx(0.10)
+    assert p.predict_drop("B", ["A", "B"]) == pytest.approx(0.02)
+
+
+def test_predict_drop_with_perfect_knowledge_override():
+    p = make_predictor()
+    assert p.predict_drop("A", competing_refs=100e6) == pytest.approx(0.20)
+
+
+def test_predict_throughput():
+    p = make_predictor()
+    drop = p.predict_drop("A", ["A", "B"])
+    assert p.predict_throughput("A", ["A", "B"]) == \
+        pytest.approx(3e6 * (1 - drop))
+
+
+def test_unknown_apps_raise():
+    p = make_predictor()
+    with pytest.raises(KeyError):
+        p.predict_drop("Z", ["A"])
+    with pytest.raises(KeyError):
+        p.competing_refs(["Z"])

@@ -1,0 +1,76 @@
+"""Solo profiling and co-run validation harness (small-scale integration)."""
+
+import pytest
+
+from repro.core.profiler import SoloProfile, profile_apps, profile_solo
+from repro.core.validation import measure_drop, run_corun
+from repro.hw.topology import PlatformSpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return PlatformSpec.westmere().scaled(64).single_socket()
+
+
+@pytest.fixture(scope="module")
+def ip_profile(spec):
+    return profile_solo("IP", spec, warmup_packets=800, measure_packets=800)
+
+
+def test_profile_has_sane_columns(ip_profile):
+    p = ip_profile
+    assert p.app == "IP"
+    assert p.throughput > 0
+    assert p.cycles_per_packet > 100
+    assert p.cycles_per_instruction > 0.3
+    assert p.l3_refs_per_sec > p.l3_hits_per_sec >= 0
+    assert p.l3_refs_per_packet >= p.l3_misses_per_packet
+    assert p.l3_hits_per_packet == pytest.approx(
+        p.l3_refs_per_packet - p.l3_misses_per_packet
+    )
+
+
+def test_profile_is_deterministic(spec, ip_profile):
+    again = profile_solo("IP", spec, warmup_packets=800, measure_packets=800)
+    assert again.throughput == ip_profile.throughput
+
+
+def test_profile_apps_averages_repeats(spec):
+    profiles = profile_apps(["IP"], spec, warmup_packets=400,
+                            measure_packets=400, repeats=2)
+    assert set(profiles) == {"IP"}
+    assert profiles["IP"].throughput > 0
+
+
+def test_profile_apps_rejects_zero_repeats(spec):
+    with pytest.raises(ValueError):
+        profile_apps(["IP"], spec, repeats=0)
+
+
+def test_run_corun_measures_everyone(spec):
+    corun = run_corun([("IP", 0), ("MON", 1)], spec,
+                      warmup_packets=600, measure_packets=600)
+    assert set(corun.apps.values()) == {"IP", "MON"}
+    assert all(v > 0 for v in corun.throughput.values())
+    assert corun.competing_refs(exclude="IP@0") == \
+        pytest.approx(corun.refs_per_sec["MON@1"])
+
+
+def test_run_corun_rejects_empty(spec):
+    with pytest.raises(ValueError):
+        run_corun([], spec)
+
+
+def test_measure_drop_is_nonnegative_under_contention(spec, ip_profile):
+    drop, corun = measure_drop(
+        "IP", ["MON", "MON"], spec, solo=ip_profile,
+        warmup_packets=800, measure_packets=800,
+    )
+    # Contention can only hurt (within measurement noise).
+    assert drop > -0.05
+    assert "IP@0" in corun.throughput
+
+
+def test_measure_drop_rejects_overfull_socket(spec, ip_profile):
+    with pytest.raises(ValueError):
+        measure_drop("IP", ["MON"] * 6, spec, solo=ip_profile)

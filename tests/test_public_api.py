@@ -1,0 +1,27 @@
+"""The package's public import surface."""
+
+import repro
+import repro.apps
+import repro.core
+import repro.net
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_subpackage_exports():
+    for module in (repro.apps, repro.core, repro.net):
+        for name in module.__all__:
+            assert getattr(module, name) is not None, (module.__name__, name)
+
+
+def test_version_is_set():
+    assert repro.__version__.count(".") == 2
+
+
+def test_app_names_cover_paper_and_extensions():
+    assert set(repro.REALISTIC_APPS) == {"IP", "MON", "FW", "RE", "VPN"}
+    assert "SYN_MAX" in repro.APP_NAMES
+    assert "DPI" in repro.APP_NAMES

@@ -1,0 +1,166 @@
+"""Radix trie: LPM correctness against a brute-force reference model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.radixtrie import (
+    DEFAULT_STRIDES,
+    RadixTrie,
+    RouteTableBuilder,
+    SLOT_BYTES,
+)
+from repro.net.addresses import prefix_mask
+
+
+def brute_force_lpm(routes, addr):
+    """Reference LPM: longest matching prefix wins; later inserts overwrite."""
+    best = None
+    best_len = -1
+    for prefix, plen, hop in routes:
+        if addr & prefix_mask(plen) == prefix and plen >= best_len:
+            # Equal length: the most recently inserted wins.
+            if plen > best_len:
+                best, best_len = hop, plen
+            else:
+                best = hop
+    return best
+
+
+def build(routes, strides=DEFAULT_STRIDES):
+    trie = RadixTrie(strides)
+    for prefix, plen, hop in routes:
+        trie.insert(prefix, plen, hop)
+    return trie
+
+
+def test_strides_must_cover_32_bits():
+    with pytest.raises(ValueError):
+        RadixTrie(strides=(8, 8))
+    with pytest.raises(ValueError):
+        RadixTrie(strides=(8, -4, 28))
+
+
+def test_empty_trie_returns_none():
+    trie = RadixTrie()
+    hop, visited = trie.lookup(0x01020304)
+    assert hop is None
+    assert visited  # root is always probed
+
+
+def test_default_route():
+    trie = RadixTrie()
+    trie.insert(0, 0, 42)
+    assert trie.lookup_route(0xDEADBEEF) == 42
+
+
+def test_exact_and_longest_match():
+    routes = [
+        (0x0A000000, 8, 1),     # 10/8
+        (0x0A010000, 16, 2),    # 10.1/16
+        (0x0A010100, 24, 3),    # 10.1.1/24
+    ]
+    trie = build(routes)
+    assert trie.lookup_route(0x0A020202) == 1
+    assert trie.lookup_route(0x0A01FF01) == 2
+    assert trie.lookup_route(0x0A010105) == 3
+    assert trie.lookup_route(0x0B000000) is None
+
+
+def test_non_stride_aligned_prefix_expansion():
+    # /18 does not align with any stride boundary below the 8-bit root.
+    prefix = 0xC0A84000  # 192.168.64/18
+    trie = build([(prefix, 18, 9)])
+    assert trie.lookup_route(0xC0A84001) == 9
+    assert trie.lookup_route(0xC0A87FFF) == 9
+    assert trie.lookup_route(0xC0A88000) is None
+
+
+def test_host_route():
+    trie = build([(0x0A0B0C0D, 32, 7)])
+    assert trie.lookup_route(0x0A0B0C0D) == 7
+    assert trie.lookup_route(0x0A0B0C0C) is None
+
+
+def test_insert_validates():
+    trie = RadixTrie()
+    with pytest.raises(ValueError):
+        trie.insert(0, 33, 1)
+    with pytest.raises(ValueError):
+        trie.insert(1 << 32, 8, 1)
+    with pytest.raises(ValueError):
+        trie.insert(0x0A000001, 8, 1)  # bits beyond /8
+
+
+def test_visited_offsets_are_slot_aligned():
+    trie = build([(0x0A000000, 8, 1), (0x0A010000, 16, 2)])
+    _, visited = trie.lookup(0x0A010203)
+    assert all(off % SLOT_BYTES == 0 for off in visited)
+    assert all(0 <= off < trie.total_bytes for off in visited)
+    assert len(visited) >= 2
+
+
+def test_total_bytes_grows_with_nodes():
+    trie = RadixTrie()
+    before = trie.total_bytes
+    trie.insert(0x0A010100, 24, 1)
+    assert trie.total_bytes > before
+    assert trie.n_nodes > 1
+
+
+@st.composite
+def route_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    routes = []
+    for _ in range(n):
+        plen = draw(st.integers(min_value=1, max_value=32))
+        prefix = draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+        prefix &= prefix_mask(plen)
+        hop = draw(st.integers(min_value=0, max_value=100))
+        routes.append((prefix, plen, hop))
+    return routes
+
+
+@given(routes=route_sets(), addrs=st.lists(
+    st.integers(min_value=0, max_value=0xFFFFFFFF), min_size=1, max_size=30))
+@settings(max_examples=80, deadline=None)
+def test_property_matches_brute_force(routes, addrs):
+    trie = build(routes)
+    for addr in addrs:
+        assert trie.lookup_route(addr) == brute_force_lpm(routes, addr)
+
+
+@given(routes=route_sets())
+@settings(max_examples=40, deadline=None)
+def test_property_lookup_hits_inserted_prefixes(routes):
+    trie = build(routes)
+    for prefix, plen, _ in routes:
+        assert trie.lookup_route(prefix) == brute_force_lpm(routes, prefix)
+
+
+def test_builder_respects_entry_count():
+    rng = random.Random(3)
+    trie = RouteTableBuilder(rng).build(500)
+    assert trie.n_routes == 501  # 500 + default route
+    assert trie.default_route is not None
+
+
+def test_builder_addr_bits_bounds_prefixes():
+    rng = random.Random(3)
+    builder = RouteTableBuilder(rng, addr_bits=24)
+    for _ in range(200):
+        prefix, plen = builder.random_prefix()
+        assert prefix < (1 << 24)
+
+
+def test_builder_rejects_bad_universe():
+    with pytest.raises(ValueError):
+        RouteTableBuilder(random.Random(0), addr_bits=4)
+
+
+def test_builder_lookup_always_resolves_via_default():
+    rng = random.Random(5)
+    trie = RouteTableBuilder(rng).build(100)
+    for _ in range(100):
+        assert trie.lookup_route(rng.getrandbits(32)) is not None

@@ -1,0 +1,77 @@
+"""Region geometry."""
+
+import pytest
+
+from repro.mem.region import Region
+
+
+def make(base=0, size=256, domain=0, name="r"):
+    return Region(name=name, base=base, size=size, domain=domain)
+
+
+def test_basic_properties():
+    r = make(base=128, size=256)
+    assert r.end == 384
+    assert r.n_lines == 4
+
+
+def test_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        make(size=0)
+    with pytest.raises(ValueError):
+        make(size=-64)
+
+
+def test_rejects_unaligned_base():
+    with pytest.raises(ValueError):
+        make(base=17)
+
+
+def test_addr_bounds():
+    r = make(size=128)
+    assert r.addr(0) == 0
+    assert r.addr(127) == 127
+    with pytest.raises(IndexError):
+        r.addr(128)
+    with pytest.raises(IndexError):
+        r.addr(-1)
+
+
+def test_line_of_offset():
+    r = make(base=256, size=256)
+    assert r.line(0) == 4
+    assert r.line(63) == 4
+    assert r.line(64) == 5
+
+
+def test_lines_span():
+    r = make(base=0, size=512)
+    assert list(r.lines(0, 1)) == [0]
+    assert list(r.lines(60, 8)) == [0, 1]
+    assert list(r.lines(64, 128)) == [1, 2]
+
+
+def test_lines_rejects_bad_length():
+    r = make(size=128)
+    with pytest.raises(ValueError):
+        r.lines(0, 0)
+
+
+def test_lines_rejects_overrun():
+    r = make(size=128)
+    with pytest.raises(IndexError):
+        list(r.lines(64, 65))
+
+
+def test_overlaps():
+    a = make(base=0, size=128)
+    b = make(base=64, size=128)
+    c = make(base=128, size=64)
+    assert a.overlaps(b)
+    assert b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_n_lines_rounds_up():
+    r = make(size=65)
+    assert r.n_lines == 2

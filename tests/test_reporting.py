@@ -1,0 +1,43 @@
+"""Report formatting helpers."""
+
+from repro.core.reporting import format_series, format_table, millions, pct
+
+
+def test_format_table_basic():
+    out = format_table(["name", "value"], [["a", 1.5], ["bb", 22.0]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "a" in lines[3]
+    assert "bb" in lines[4]
+
+
+def test_format_table_aligns_columns():
+    out = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+    lines = out.splitlines()
+    assert len(lines[1]) >= len("a-much-longer-cell")
+
+
+def test_format_table_number_formats():
+    out = format_table(["v"], [[2_500_000.0], [123.456], [0.25]])
+    assert "2,500,000" in out
+    assert "123.5" in out
+    assert "0.250" in out
+
+
+def test_format_series():
+    out = format_series("s", [(1.0, 2.0), (3.0, 4.0)], x_label="a",
+                        y_label="b")
+    assert out.splitlines()[0] == "s: a -> b"
+    assert "(1.000, 2.000)" in out
+
+
+def test_pct():
+    assert pct(0.123456) == "12.35%"
+    assert pct(0.0) == "0.00%"
+
+
+def test_millions():
+    assert millions(25_850_000) == "25.85M"

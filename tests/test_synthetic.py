@@ -1,0 +1,79 @@
+"""SYN synthetic application."""
+
+import pytest
+
+from repro.apps.synthetic import (
+    SWEEP_CPU_OPS,
+    SynApp,
+    syn_factory,
+    syn_max_factory,
+)
+from repro.constants import SYN_ARRAY_FRACTION
+from repro.mem.access import AccessContext
+from tests.conftest import make_env
+
+
+def test_defaults_array_to_l3_fraction():
+    env = make_env()
+    app = SynApp(env)
+    assert app.region.size == \
+        ((int(env.spec.l3_size * SYN_ARRAY_FRACTION) + 63) // 64) * 64
+
+
+def test_refs_per_packet():
+    env = make_env()
+    app = SynApp(env, refs_per_packet=16)
+    ctx = AccessContext()
+    app.run_packet(ctx)
+    assert ctx.n_references == 16
+
+
+def test_refs_stay_inside_array():
+    env = make_env()
+    app = SynApp(env, refs_per_packet=200, array_bytes=4096)
+    ctx = AccessContext()
+    app.run_packet(ctx)
+    lo = app.region.base >> 6
+    hi = app.region.end >> 6
+    assert all(lo <= line < hi for line in ctx.lines_touched())
+
+
+def test_cpu_ops_add_gap():
+    env = make_env()
+    busy = SynApp(env, cpu_ops_per_ref=100, refs_per_packet=8)
+    ctx = AccessContext()
+    busy.run_packet(ctx)
+    gaps = ctx.program[0::3]
+    assert all(g >= 100 for g in gaps)
+    assert busy.counter == 800
+
+
+def test_syn_max_has_zero_gap():
+    env = make_env()
+    app = syn_max_factory()(env)
+    assert app.name == "SYN_MAX"
+    ctx = AccessContext()
+    app.run_packet(ctx)
+    assert all(g == 0 for g in ctx.program[0::3])
+
+
+def test_factory_passes_parameters():
+    env = make_env()
+    app = syn_factory(cpu_ops_per_ref=7, refs_per_packet=3,
+                      array_bytes=8192, name="S7")(env)
+    assert app.cpu_ops_per_ref == 7
+    assert app.refs_per_packet == 3
+    assert app.name == "S7"
+
+
+def test_validation():
+    env = make_env()
+    with pytest.raises(ValueError):
+        SynApp(env, refs_per_packet=0)
+    with pytest.raises(ValueError):
+        SynApp(make_env(), cpu_ops_per_ref=-1)
+
+
+def test_sweep_levels_descend_to_syn_max():
+    assert SWEEP_CPU_OPS[-1] == 0
+    assert list(SWEEP_CPU_OPS) == sorted(SWEEP_CPU_OPS, reverse=True)

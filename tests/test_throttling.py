@@ -1,0 +1,92 @@
+"""Aggressiveness containment: throttled and two-faced flows."""
+
+import pytest
+
+from repro.apps.synthetic import syn_factory, syn_max_factory
+from repro.core.throttling import ThrottledFlow, TwoFacedFlow, throttled_factory
+from repro.hw.machine import Machine
+from repro.hw.topology import PlatformSpec
+
+
+def spec():
+    return PlatformSpec.westmere().scaled(64)
+
+
+def syn_refs_per_sec(factory, packets=600):
+    m = Machine(spec())
+    m.add_flow(factory, core=0, label="f")
+    return m.run(warmup_packets=100, measure_packets=packets)["f"]
+
+
+def test_throttle_bounds_refs_per_sec():
+    baseline = syn_refs_per_sec(syn_max_factory()).l3_refs_per_sec
+    target = baseline / 3
+    stats = syn_refs_per_sec(
+        throttled_factory(syn_max_factory(), target_refs_per_sec=target,
+                          adjust_every=16)
+    )
+    assert stats.l3_refs_per_sec < target * 1.25
+    assert stats.l3_refs_per_sec < baseline / 2
+
+
+def test_throttle_leaves_slow_flows_alone():
+    gentle = syn_factory(cpu_ops_per_ref=400)
+    baseline = syn_refs_per_sec(gentle).l3_refs_per_sec
+    stats = syn_refs_per_sec(
+        throttled_factory(gentle, target_refs_per_sec=baseline * 10)
+    )
+    assert stats.l3_refs_per_sec == pytest.approx(baseline, rel=0.15)
+
+
+def test_throttled_flow_validation():
+    with pytest.raises(ValueError):
+        ThrottledFlow(object(), target_refs_per_sec=0)
+    with pytest.raises(ValueError):
+        ThrottledFlow(object(), target_refs_per_sec=1e6, adjust_every=0)
+
+
+def test_two_faced_flow_switches_behaviour():
+    m = Machine(spec())
+
+    def factory(env):
+        return TwoFacedFlow(
+            innocent=syn_factory(cpu_ops_per_ref=600)(env),
+            aggressive=syn_max_factory()(env),
+            trigger_packets=200,
+        )
+
+    m.add_flow(factory, core=0, label="tf")
+    stats = m.run(warmup_packets=400, measure_packets=400)["tf"]
+    flow = m.flows[0].flow
+    assert flow.triggered
+    # Post-trigger (the measured window) it behaves like SYN_MAX: no gaps.
+    aggressive_rate = stats.l3_refs_per_sec
+    baseline = syn_refs_per_sec(syn_factory(cpu_ops_per_ref=600)).l3_refs_per_sec
+    assert aggressive_rate > 2 * baseline
+
+
+def test_two_faced_flow_contained_by_throttle():
+    innocent_rate = syn_refs_per_sec(
+        syn_factory(cpu_ops_per_ref=600)
+    ).l3_refs_per_sec
+
+    def factory(env):
+        two_faced = TwoFacedFlow(
+            innocent=syn_factory(cpu_ops_per_ref=600)(env),
+            aggressive=syn_max_factory()(env),
+            trigger_packets=150,
+        )
+        return ThrottledFlow(two_faced, target_refs_per_sec=innocent_rate,
+                             adjust_every=16, gain=1.0)
+
+    m = Machine(spec())
+    m.add_flow(factory, core=0, label="contained")
+    stats = m.run(warmup_packets=600, measure_packets=600)["contained"]
+    # The paper's claim: the flow "performs no more than the profiled
+    # number of cache refs/sec" (small control overshoot allowed).
+    assert stats.l3_refs_per_sec < innocent_rate * 1.3
+
+
+def test_two_faced_validation():
+    with pytest.raises(ValueError):
+        TwoFacedFlow(object(), object(), trigger_packets=-1)

@@ -1,0 +1,98 @@
+"""Platform topology and scaling."""
+
+import pytest
+
+from repro import constants as C
+from repro.hw.topology import PlatformSpec
+
+
+def test_westmere_matches_paper_platform():
+    spec = PlatformSpec.westmere()
+    assert spec.n_sockets == 2
+    assert spec.cores_per_socket == 6
+    assert spec.total_cores == 12
+    assert spec.l3_size == 12 * 1024 * 1024
+    assert spec.l1_size == 32 * 1024
+    assert spec.l2_size == 256 * 1024
+    assert spec.freq_hz == pytest.approx(2.8e9)
+
+
+def test_socket_of_core():
+    spec = PlatformSpec.westmere()
+    assert spec.socket_of(0) == 0
+    assert spec.socket_of(5) == 0
+    assert spec.socket_of(6) == 1
+    assert spec.socket_of(11) == 1
+    with pytest.raises(ValueError):
+        spec.socket_of(12)
+    with pytest.raises(ValueError):
+        spec.socket_of(-1)
+
+
+def test_cores_of_socket():
+    spec = PlatformSpec.westmere()
+    assert list(spec.cores_of_socket(0)) == [0, 1, 2, 3, 4, 5]
+    assert list(spec.cores_of_socket(1)) == [6, 7, 8, 9, 10, 11]
+    with pytest.raises(ValueError):
+        spec.cores_of_socket(2)
+
+
+def test_scaled_divides_caches_jointly():
+    spec = PlatformSpec.westmere().scaled(8)
+    assert spec.l1_size == 4 * 1024
+    assert spec.l2_size == 32 * 1024
+    assert spec.l3_size == 1536 * 1024
+    assert spec.scale == 8
+
+
+def test_scaled_composes():
+    spec = PlatformSpec.westmere().scaled(4).scaled(2)
+    assert spec.scale == 8
+    assert spec.l3_size == PlatformSpec.westmere().scaled(8).l3_size
+
+
+def test_scaled_identity():
+    spec = PlatformSpec.westmere()
+    assert spec.scaled(1) is spec
+
+
+def test_scaled_rejects_collapse():
+    with pytest.raises(ValueError):
+        PlatformSpec.westmere().scaled(100)
+    with pytest.raises(ValueError):
+        PlatformSpec.westmere().scaled(0)
+
+
+def test_scale_table_and_bytes():
+    spec = PlatformSpec.westmere().scaled(8)
+    assert spec.scale_table(128_000) == 16_000
+    assert spec.scale_table(10, minimum=16) == 16
+    assert spec.scale_bytes(64 * 1024 * 1024) == 8 * 1024 * 1024
+
+
+def test_address_bits_shrinks_with_scale():
+    assert PlatformSpec.westmere().address_bits == 32
+    assert PlatformSpec.westmere().scaled(8).address_bits == 29
+    assert PlatformSpec.westmere().scaled(16).address_bits == 28
+
+
+def test_l3_lines():
+    spec = PlatformSpec.westmere()
+    assert spec.l3_lines == 12 * 1024 * 1024 // 64
+
+
+def test_dram_latency():
+    spec = PlatformSpec.westmere()
+    assert spec.dram_latency == pytest.approx(spec.lat_l3 + spec.lat_dram_extra)
+    assert spec.dram_latency > 150
+
+
+def test_single_socket():
+    spec = PlatformSpec.westmere().single_socket()
+    assert spec.n_sockets == 1
+    assert spec.total_cores == 6
+
+
+def test_rejects_inverted_hierarchy():
+    with pytest.raises(ValueError):
+        PlatformSpec(l1_size=1024 * 1024, l2_size=256 * 1024)

@@ -1,0 +1,92 @@
+"""Zipf and IMIX workload models."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.net.traces import IMIX_MIX, IMIXTraffic, ZipfFlowTraffic
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+def test_zipf_is_skewed(rng):
+    src = ZipfFlowTraffic(rng, n_flows=100, alpha=1.2)
+    counts = Counter(p.five_tuple() for p in src.take(3000))
+    top = counts.most_common(5)
+    # The head carries far more than its uniform share (5%).
+    head_share = sum(c for _, c in top) / 3000
+    assert head_share > 0.25
+
+
+def test_zipf_alpha_zero_is_uniform(rng):
+    src = ZipfFlowTraffic(rng, n_flows=10, alpha=0.0)
+    counts = Counter(src.pick_rank() for _ in range(5000))
+    shares = [counts[r] / 5000 for r in range(10)]
+    assert max(shares) - min(shares) < 0.06
+
+
+def test_zipf_expected_top_share(rng):
+    src = ZipfFlowTraffic(rng, n_flows=50, alpha=1.0)
+    assert src.expected_top_share(0) == 0.0
+    assert src.expected_top_share(50) == pytest.approx(1.0)
+    assert 0 < src.expected_top_share(1) < src.expected_top_share(10) < 1
+
+
+def test_zipf_expected_share_matches_empirical(rng):
+    src = ZipfFlowTraffic(rng, n_flows=20, alpha=1.0)
+    counts = Counter(src.pick_rank() for _ in range(20000))
+    empirical = sum(counts[r] for r in range(3)) / 20000
+    assert empirical == pytest.approx(src.expected_top_share(3), abs=0.05)
+
+
+def test_zipf_respects_addr_bits(rng):
+    src = ZipfFlowTraffic(rng, n_flows=30, addr_bits=20)
+    for p in src.take(50):
+        assert p.ip.dst < (1 << 20)
+
+
+def test_zipf_validation(rng):
+    with pytest.raises(ValueError):
+        ZipfFlowTraffic(rng, n_flows=0)
+    with pytest.raises(ValueError):
+        ZipfFlowTraffic(rng, n_flows=5, alpha=-1)
+
+
+def test_imix_sizes_follow_mix(rng):
+    src = IMIXTraffic(rng)
+    sizes = Counter(len(p.payload) for p in src.take(2400))
+    expected = {size for size, _ in IMIX_MIX}
+    assert set(sizes) == expected
+    # Small packets dominate 7:4:1.
+    assert sizes[22] > sizes[552] > sizes[1476]
+
+
+def test_imix_average_payload(rng):
+    src = IMIXTraffic(rng)
+    expected = (22 * 7 + 552 * 4 + 1476 * 1) / 12
+    assert src.average_payload() == pytest.approx(expected)
+
+
+def test_imix_wraps_inner_source(rng):
+    inner = ZipfFlowTraffic(rng, n_flows=5, alpha=1.0)
+    src = IMIXTraffic(rng, inner=inner)
+    p = src.next_packet()
+    assert len(p.payload) in {22, 552, 1476}
+    assert p.ip.total_length == 28 + len(p.payload)
+    # The 5-tuple comes from the inner population.
+    assert p.five_tuple() in {
+        (s, d, 17, sp, dp) for s, d, sp, dp in inner.population
+    }
+
+
+def test_imix_validation(rng):
+    with pytest.raises(ValueError):
+        IMIXTraffic(rng, mix=())
+    with pytest.raises(ValueError):
+        IMIXTraffic(rng, mix=((10, 0),))
+    with pytest.raises(ValueError):
+        IMIXTraffic(rng, mix=((-1, 2),))

@@ -1,0 +1,51 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_sizes():
+    assert units.KB == 1024
+    assert units.MB == 1024 * 1024
+    assert units.GB == 1024 ** 3
+
+
+def test_ns_cycles_roundtrip():
+    freq = 2.8e9
+    assert units.ns_to_cycles(1.0, freq) == pytest.approx(2.8)
+    assert units.cycles_to_ns(units.ns_to_cycles(43.75, freq), freq) == \
+        pytest.approx(43.75)
+
+
+def test_delta_in_cycles_matches_paper_platform():
+    # 43.75 ns at 2.8 GHz is ~122.5 cycles.
+    assert units.ns_to_cycles(43.75, 2.8e9) == pytest.approx(122.5)
+
+
+def test_cycles_to_seconds():
+    assert units.cycles_to_seconds(2.8e9, 2.8e9) == pytest.approx(1.0)
+
+
+def test_per_second():
+    assert units.per_second(100, 2.8e9, 2.8e9) == pytest.approx(100.0)
+    assert units.per_second(100, 1.4e9, 2.8e9) == pytest.approx(200.0)
+
+
+def test_per_second_empty_window():
+    assert units.per_second(100, 0, 2.8e9) == 0.0
+    assert units.per_second(100, -5, 2.8e9) == 0.0
+
+
+def test_mega():
+    assert units.mega(25_850_000) == pytest.approx(25.85)
+
+
+@pytest.mark.parametrize("n, expected", [
+    (64, "64B"),
+    (2048, "2.0KB"),
+    (12 * 1024 * 1024, "12.0MB"),
+    (3 * 1024 ** 3, "3.0GB"),
+])
+def test_pretty_size(n, expected):
+    assert units.pretty_size(n) == expected

@@ -1,0 +1,64 @@
+"""Validation harness extras and the sweep path (tiny scale)."""
+
+import pytest
+
+from repro.core.prediction import sweep_sensitivity
+from repro.core.profiler import profile_apps
+from repro.core.scheduling import PlacementStudy
+from repro.core.validation import pairwise_drops
+from repro.hw.topology import PlatformSpec
+
+SPEC1 = PlatformSpec.westmere().scaled(64).single_socket()
+SPEC2 = PlatformSpec.westmere().scaled(64)
+W, M = 600, 400
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return profile_apps(["IP", "FW"], SPEC1, warmup_packets=W,
+                        measure_packets=M)
+
+
+def test_pairwise_drops_covers_all_pairs(profiles):
+    drops = pairwise_drops(["IP", "FW"], SPEC1, profiles,
+                           n_competitors=2, warmup_packets=W,
+                           measure_packets=M)
+    assert set(drops) == {("IP", "IP"), ("IP", "FW"),
+                          ("FW", "IP"), ("FW", "FW")}
+    for (target, competitor), (drop, corun) in drops.items():
+        assert -0.1 < drop < 0.9
+        assert f"{target}@0" in corun.throughput
+
+
+def test_sweep_sensitivity_produces_monotonic_competition(profiles):
+    curve = sweep_sensitivity(
+        "IP", SPEC1, cpu_ops_levels=(720, 60), n_competitors=2,
+        warmup_packets=W, measure_packets=M, solo=profiles["IP"],
+    )
+    refs = list(curve.refs)
+    assert refs == sorted(refs)
+    assert len(curve.points) == 3  # anchored zero + two levels
+    assert curve.points[0] == (0.0, 0.0)
+
+
+def test_sweep_rejects_too_many_competitors(profiles):
+    with pytest.raises(ValueError):
+        sweep_sensitivity("IP", SPEC1, n_competitors=6, solo=profiles["IP"])
+    with pytest.raises(ValueError):
+        sweep_sensitivity("IP", SPEC1, n_competitors=0, solo=profiles["IP"])
+
+
+def test_placement_study_simulates_splits():
+    profiles = profile_apps(["IP"], SPEC2, warmup_packets=W,
+                            measure_packets=M)
+    study = PlacementStudy(SPEC2, profiles, warmup_packets=W,
+                           measure_packets=M)
+    result = study.run(["IP"] * 12, method="simulate")
+    # A uniform combination has exactly one distinct split and zero gain.
+    assert len(result.outcomes) == 1
+    assert result.scheduling_gain == 0.0
+    outcome = result.outcomes[0]
+    assert len(outcome.per_flow_drop) == 12
+    # Homogeneous flows suffer comparably on both sockets.
+    drops = list(outcome.per_flow_drop.values())
+    assert max(drops) - min(drops) < 0.25
