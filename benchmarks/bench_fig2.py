@@ -12,11 +12,18 @@ from repro.experiments.fig2 import PAPER_FIG2B
 
 
 def test_fig2_pairwise_drops(benchmark, config, profiles, shared_cache,
-                             run_once, strict):
+                             run_once, strict, record):
     result = run_once(
         benchmark, lambda: fig2.run(config, profiles=profiles)
     )
     shared_cache.setdefault("fig2", result)
+    record("fig2", {
+        "drops": result.drops,
+        "averages": result.averages(),
+        "max_drop": result.max_drop(),
+        "most_sensitive": result.most_sensitive(),
+        "most_aggressive": result.most_aggressive(),
+    })
     print()
     print(result.render())
     print("\npaper Figure 2(b) averages: " + ", ".join(

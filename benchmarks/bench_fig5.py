@@ -12,11 +12,16 @@ from repro.experiments import fig5
 
 
 def test_fig5_syn_equivalence(benchmark, config, fig2_result, curves,
-                              run_once, strict):
+                              run_once, strict, record):
     result = run_once(
         benchmark,
         lambda: fig5.run(config, fig2_result=fig2_result, curves=curves),
     )
+    record("fig5", {
+        "curves": {t: c.points for t, c in result.curves.items()},
+        "realistic_points": result.realistic_points,
+        "deviations": {t: result.deviation(t) for t in result.curves},
+    })
     print()
     print(result.render())
 

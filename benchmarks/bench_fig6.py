@@ -12,10 +12,14 @@ from repro.experiments import fig6
 
 
 def test_fig6_worst_case_bound(benchmark, config, profiles, fig2_result,
-                               run_once, strict):
+                               run_once, strict, record):
     result = run_once(
         benchmark, lambda: fig6.run(config, profiles=profiles)
     )
+    record("fig6", {
+        "curves": result.curves,
+        "app_points": result.app_points,
+    })
     print()
     print(result.render())
 

@@ -11,12 +11,13 @@ from repro.experiments import limits
 
 
 def test_limits_small_working_sets(benchmark, config, profiles, curves,
-                                   run_once, strict):
+                                   run_once, strict, record):
     result = run_once(
         benchmark,
         lambda: limits.run(config, solo=profiles["MON"],
                            curve=curves["MON"]),
     )
+    record("limits", {"target": result.target, "rows": result.rows})
     print()
     print(result.render())
 

@@ -10,8 +10,14 @@ such loss.
 from repro.experiments import multiflow
 
 
-def test_multiflow_l1l2_interference(benchmark, config, run_once, strict):
+def test_multiflow_l1l2_interference(benchmark, config, run_once, strict,
+                                     record):
     result = run_once(benchmark, lambda: multiflow.run(config))
+    record("multiflow", {
+        "rows": result.rows,
+        "shortfalls": {label: result.shortfall(label)
+                       for label, _, _ in result.rows},
+    })
     print()
     print(result.render())
 

@@ -11,10 +11,11 @@ from repro.experiments import table1
 from repro.experiments.table1 import PAPER_TABLE1
 
 
-def test_table1(benchmark, config, shared_cache, run_once, strict):
+def test_table1(benchmark, config, shared_cache, run_once, strict, record):
     result = run_once(benchmark, lambda: table1.run(config))
     # Later benchmarks (Figures 2, 5, 8, ...) reuse these solo profiles.
     shared_cache.setdefault("profiles", result.profiles)
+    record("table1", {"profiles": result.profiles})
     print()
     print(result.render())
     print("\npaper Table 1 (for comparison):")

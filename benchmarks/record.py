@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Standalone benchmark recorder: regenerate ``BENCH_<name>.json`` files.
+
+Runs the paper's figure experiments directly (no pytest/pytest-benchmark
+required) and writes one machine-readable record per figure via
+:class:`repro.obs.BenchRecorder` — the same schema the benchmark suite
+emits, so CI can produce artifacts with::
+
+    PYTHONPATH=src python benchmarks/record.py --quick
+
+``--quick`` shrinks the platform (scale 1/64) and packet counts to a
+smoke pass; the default configuration matches the benchmark harness
+(scale 1/8, full packet counts — slow). Select a subset of figures by
+name, e.g. ``record.py --quick table1 fig2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.apps.registry import REALISTIC_APPS
+from repro.core.prediction import sweep_sensitivity
+from repro.core.profiler import profile_apps
+from repro.experiments import fig2, fig5, fig6, fig9, table1
+from repro.experiments.common import ExperimentConfig
+from repro.core.prediction import ContentionPredictor
+from repro.obs.recorder import BenchRecorder
+
+
+class _Context:
+    """Memoized shared prerequisites (mirrors the conftest fixtures)."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self._cache: Dict[str, object] = {}
+
+    def profiles(self):
+        if "profiles" not in self._cache:
+            c = self.config
+            self._cache["profiles"] = profile_apps(
+                REALISTIC_APPS, c.socket_spec(), seed=c.seed,
+                warmup_packets=c.solo_warmup,
+                measure_packets=c.solo_measure)
+        return self._cache["profiles"]
+
+    def fig2(self):
+        if "fig2" not in self._cache:
+            self._cache["fig2"] = fig2.run(self.config,
+                                           profiles=self.profiles())
+        return self._cache["fig2"]
+
+    def curves(self):
+        if "curves" not in self._cache:
+            c = self.config
+            spec = c.socket_spec()
+            profiles = self.profiles()
+            self._cache["curves"] = {
+                app: sweep_sensitivity(
+                    app, spec, seed=c.seed,
+                    warmup_packets=c.corun_warmup,
+                    measure_packets=c.corun_measure,
+                    solo=profiles[app])
+                for app in REALISTIC_APPS
+            }
+        return self._cache["curves"]
+
+    def predictor(self):
+        return ContentionPredictor(profiles=self.profiles(),
+                                   curves=self.curves())
+
+
+def _record_table1(ctx: _Context) -> dict:
+    result = table1.run(ctx.config)
+    return {"profiles": result.profiles}
+
+
+def _record_fig2(ctx: _Context) -> dict:
+    result = ctx.fig2()
+    return {
+        "drops": result.drops,
+        "averages": result.averages(),
+        "max_drop": result.max_drop(),
+        "most_sensitive": result.most_sensitive(),
+        "most_aggressive": result.most_aggressive(),
+    }
+
+
+def _record_fig5(ctx: _Context) -> dict:
+    result = fig5.run(ctx.config, fig2_result=ctx.fig2(),
+                      curves=ctx.curves())
+    return {
+        "curves": {t: c.points for t, c in result.curves.items()},
+        "realistic_points": result.realistic_points,
+        "deviations": {t: result.deviation(t) for t in result.curves},
+    }
+
+
+def _record_fig6(ctx: _Context) -> dict:
+    result = fig6.run(ctx.config, profiles=ctx.profiles())
+    return {"curves": result.curves, "app_points": result.app_points}
+
+
+def _record_fig9(ctx: _Context) -> dict:
+    result = fig9.run(ctx.config, ctx.predictor())
+    return {
+        "rows": result.rows,
+        "mean_abs_error": result.mean_abs_error(),
+        "max_abs_error": result.max_abs_error(),
+    }
+
+
+#: name -> payload builder. Order matters: later figures reuse earlier
+#: memoized prerequisites.
+FIGURES: Dict[str, Callable[[_Context], dict]] = {
+    "table1": _record_table1,
+    "fig2": _record_fig2,
+    "fig5": _record_fig5,
+    "fig6": _record_fig6,
+    "fig9": _record_fig9,
+}
+
+#: The --quick subset: cheap enough for a CI smoke pass, still covering a
+#: throughput table (table1) and a drop matrix (fig2).
+QUICK_FIGURES = ("table1", "fig2", "fig6")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate BENCH_<name>.json benchmark records.")
+    parser.add_argument("figures", nargs="*",
+                        help=f"figures to record (default: all; "
+                             f"known: {', '.join(FIGURES)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke pass: scale 1/64, reduced packets, "
+                             f"subset {'+'.join(QUICK_FIGURES)}")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="override the platform scale-down factor")
+    parser.add_argument("--out", default="bench_reports",
+                        help="output directory (default bench_reports/)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        config = ExperimentConfig(
+            scale=args.scale or 64,
+            solo_warmup=500, solo_measure=500,
+            corun_warmup=300, corun_measure=300,
+        )
+        names = list(args.figures or QUICK_FIGURES)
+    else:
+        config = ExperimentConfig(scale=args.scale or 8)
+        names = list(args.figures or FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}; "
+                     f"known: {', '.join(FIGURES)}")
+
+    ctx = _Context(config)
+    recorder = BenchRecorder(args.out, config=config)
+    for name in names:
+        start = time.perf_counter()
+        payload = FIGURES[name](ctx)
+        elapsed = time.perf_counter() - start
+        path = recorder.record(name, payload)
+        print(f"[{elapsed:7.2f}s] {name:8s} -> {path}", file=sys.stderr)
+    print(f"{len(recorder.written)} record(s) in {args.out}/",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

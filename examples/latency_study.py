@@ -6,40 +6,56 @@ latency. The engine can record every packet's completion time:
 contention moves the entire distribution upward — the median packet pays
 for converted misses too, not just the unlucky tail.
 
+The run also attaches the observability metrics sampler: the MON flow's
+counters are snapshotted every 50 simulated microseconds, giving a time
+series of throughput and L3 hit rate whose percentiles summarize how
+steady (or not) the flow is under each competition level.
+
 Run:  python examples/latency_study.py
 """
 
-from repro import Machine, PlatformSpec, app_factory
+from repro import Machine, MetricsSampler, PlatformSpec, app_factory
 from repro.apps.synthetic import syn_factory
 
 SCALE = 16
 WARMUP, MEASURE = 3000, 1500
+METRICS_INTERVAL_US = 50.0
 
 
 def run(n_competitors: int, cpu_ops: int = 0):
     spec = PlatformSpec.westmere().scaled(SCALE).single_socket()
-    machine = Machine(spec, record_latencies=True)
+    sampler = MetricsSampler(interval_us=METRICS_INTERVAL_US)
+    machine = Machine(spec, record_latencies=True, metrics=sampler)
     machine.add_flow(app_factory("MON"), core=0, label="MON")
     for i in range(n_competitors):
         machine.add_flow(syn_factory(cpu_ops_per_ref=cpu_ops), core=1 + i)
-    return machine.run(warmup_packets=WARMUP, measure_packets=MEASURE)["MON"]
+    result = machine.run(warmup_packets=WARMUP, measure_packets=MEASURE)
+    return result["MON"], result.timeseries("MON")
 
 
-def describe(label: str, stats) -> None:
+def describe(label: str, stats, series) -> None:
     p50 = stats.latency_percentile_ns(50)
     p95 = stats.latency_percentile_ns(95)
     p99 = stats.latency_percentile_ns(99)
     print(f"{label:<22} {stats.packets_per_sec:>11,.0f} pps   "
           f"p50 {p50:7.0f} ns   p95 {p95:7.0f} ns   p99 {p99:7.0f} ns   "
           f"tail ratio {p99 / p50:.2f}x")
+    summary = series.summary(fields=("pps", "l3_hit_rate"))
+    pps = summary["pps"]
+    hit = summary["l3_hit_rate"]
+    print(f"{'':22} time series ({len(series.snaps) - 1} x "
+          f"{METRICS_INTERVAL_US:.0f}us): "
+          f"pps p50 {pps['p50']:,.0f} (p0 {pps['p0']:,.0f} / "
+          f"p100 {pps['p100']:,.0f}), "
+          f"L3 hit rate p50 {hit['p50']:.0%}")
 
 
 def main() -> None:
     print("MON per-packet latency (simulated) vs. competition:\n")
-    describe("solo", run(0))
-    describe("3 gentle SYN", run(3, cpu_ops=600))
-    describe("3 SYN_MAX", run(3, cpu_ops=0))
-    describe("5 SYN_MAX", run(5, cpu_ops=0))
+    describe("solo", *run(0))
+    describe("3 gentle SYN", *run(3, cpu_ops=600))
+    describe("3 SYN_MAX", *run(3, cpu_ops=0))
+    describe("5 SYN_MAX", *run(5, cpu_ops=0))
     print("\nContention shifts the whole latency distribution upward — "
           "converted cache\nhits become DRAM round-trips on ordinary "
           "packets, so even the median pays;\nthe p99/p50 ratio actually "

@@ -28,6 +28,7 @@ from .apps.registry import app_factory, make_app, APP_NAMES, REALISTIC_APPS
 from .core.profiler import profile_solo, SoloProfile
 from .core.prediction import ContentionPredictor, SensitivityCurve
 from .core.scheduling import PlacementStudy
+from .obs import MetricsSampler, RunReport, Tracer, observe
 
 __version__ = "1.0.0"
 
@@ -47,5 +48,9 @@ __all__ = [
     "ContentionPredictor",
     "SensitivityCurve",
     "PlacementStudy",
+    "MetricsSampler",
+    "RunReport",
+    "Tracer",
+    "observe",
     "__version__",
 ]

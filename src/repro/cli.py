@@ -6,6 +6,13 @@
 * ``repro-schedule`` — best/worst placement study for a flow combination.
 * ``repro-sweep`` — sensitivity curve of one flow type vs. SYN competitors,
   with an ASCII rendering of the curve.
+
+Every tool supports the observability flags: ``--json`` emits a
+machine-readable :class:`~repro.obs.RunReport` instead of ASCII tables,
+``--trace PATH`` writes a Chrome ``trace_event`` file of every simulated
+run (open in ``about:tracing`` or Perfetto), and ``--metrics-interval US``
+samples per-flow counter time series every US simulated microseconds
+(embedded in the JSON report).
 """
 
 from __future__ import annotations
@@ -23,6 +30,27 @@ from .core.scheduling import PlacementStudy
 from .core.validation import run_corun
 from .experiments.common import ExperimentConfig
 from .hw.counters import performance_drop
+from .obs import ChromeTraceSink, RunReport, Tracer, observe
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid integer {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid number {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -33,6 +61,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="warm-up packets per flow")
     parser.add_argument("--measure", type=int, default=1500,
                         help="measured packets per flow")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a RunReport JSON document instead of "
+                             "ASCII tables")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace_event file of the "
+                             "simulated runs to PATH")
+    parser.add_argument("--trace-sample", type=_positive_int, default=1,
+                        metavar="N", help="keep one traced packet in N "
+                                          "(default 1: every packet)")
+    parser.add_argument("--metrics-interval", type=_positive_float,
+                        default=None,
+                        metavar="US", help="sample per-flow counter time "
+                        "series every US simulated microseconds")
 
 
 def _config(args) -> ExperimentConfig:
@@ -41,6 +82,28 @@ def _config(args) -> ExperimentConfig:
         solo_warmup=args.warmup, solo_measure=args.measure,
         corun_warmup=args.warmup, corun_measure=args.measure,
     )
+
+
+def _observe(args, parser: argparse.ArgumentParser):
+    """The obs session for one CLI invocation, from its flags."""
+    tracer = None
+    if args.trace:
+        try:
+            tracer = Tracer(ChromeTraceSink(args.trace),
+                            packet_sample=args.trace_sample)
+        except OSError as exc:
+            parser.error(f"--trace: cannot write {args.trace}: {exc}")
+    return observe(tracer=tracer, metrics_interval_us=args.metrics_interval)
+
+
+def _finish(args, session, report: RunReport) -> None:
+    """Common tail: attach time series, emit JSON, announce the trace."""
+    if args.metrics_interval is not None:
+        report.timeseries.update(session.timeseries_payload())
+    if args.json:
+        print(report.to_json())
+    if args.trace:
+        print(f"trace written to {args.trace}", file=sys.stderr)
 
 
 def _parse_flows(flows: List[str]) -> List[str]:
@@ -73,19 +136,40 @@ def profile_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     apps = args.apps or list(REALISTIC_APPS)
     config = _config(args)
-    profiles = profile_apps(apps, config.socket_spec(), seed=config.seed,
-                            warmup_packets=config.solo_warmup,
-                            measure_packets=config.solo_measure)
-    rows = [
-        [app, f"{p.throughput:,.0f}", f"{p.cycles_per_packet:.0f}",
-         f"{p.cycles_per_instruction:.2f}",
-         f"{p.l3_refs_per_sec / 1e6:.1f}M", f"{p.l3_hits_per_sec / 1e6:.1f}M"]
-        for app, p in profiles.items()
-    ]
-    print(format_table(
-        ["flow", "pkts/sec", "cyc/pkt", "CPI", "L3 refs/s", "L3 hits/s"],
-        rows, title=f"Solo profiles (scale 1/{args.scale})",
-    ))
+    spec = config.socket_spec()
+    with _observe(args, parser) as session:
+        profiles = profile_apps(apps, spec, seed=config.seed,
+                                warmup_packets=config.solo_warmup,
+                                measure_packets=config.solo_measure)
+    if args.json:
+        report = RunReport.new("profile", spec=spec, config=config,
+                               command="repro-profile")
+        report.results["profiles"] = {
+            app: {
+                "throughput": p.throughput,
+                "cycles_per_packet": p.cycles_per_packet,
+                "cycles_per_instruction": p.cycles_per_instruction,
+                "l3_refs_per_sec": p.l3_refs_per_sec,
+                "l3_hits_per_sec": p.l3_hits_per_sec,
+                "l3_refs_per_packet": p.l3_refs_per_packet,
+                "l3_misses_per_packet": p.l3_misses_per_packet,
+                "l2_hits_per_packet": p.l2_hits_per_packet,
+            }
+            for app, p in profiles.items()
+        }
+    else:
+        rows = [
+            [app, f"{p.throughput:,.0f}", f"{p.cycles_per_packet:.0f}",
+             f"{p.cycles_per_instruction:.2f}",
+             f"{p.l3_refs_per_sec / 1e6:.1f}M", f"{p.l3_hits_per_sec / 1e6:.1f}M"]
+            for app, p in profiles.items()
+        ]
+        print(format_table(
+            ["flow", "pkts/sec", "cyc/pkt", "CPI", "L3 refs/s", "L3 hits/s"],
+            rows, title=f"Solo profiles (scale 1/{args.scale})",
+        ))
+        report = RunReport.new("profile", spec=spec, config=config)
+    _finish(args, session, report)
     return 0
 
 
@@ -109,35 +193,51 @@ def predict_main(argv: Optional[List[str]] = None) -> int:
     types = sorted(set(flows))
     print(f"profiling {', '.join(types)} and sweeping sensitivity curves...",
           file=sys.stderr)
-    predictor = ContentionPredictor.build(
-        types, spec, seed=config.seed,
-        warmup_packets=config.solo_warmup,
-        measure_packets=config.solo_measure,
-    )
-    measured = {}
-    if args.validate:
-        placement = [(app, core) for core, app in enumerate(flows)]
-        corun = run_corun(placement, spec, seed=config.seed,
-                          warmup_packets=config.corun_warmup,
-                          measure_packets=config.corun_measure)
-        for app, core in placement:
-            label = f"{app}@{core}"
-            measured[core] = performance_drop(
-                predictor.profiles[app].throughput, corun.throughput[label]
-            )
+    with _observe(args, parser) as session:
+        predictor = ContentionPredictor.build(
+            types, spec, seed=config.seed,
+            warmup_packets=config.solo_warmup,
+            measure_packets=config.solo_measure,
+        )
+        measured = {}
+        corun = None
+        if args.validate:
+            placement = [(app, core) for core, app in enumerate(flows)]
+            corun = run_corun(placement, spec, seed=config.seed,
+                              warmup_packets=config.corun_warmup,
+                              measure_packets=config.corun_measure)
+            for app, core in placement:
+                label = f"{app}@{core}"
+                measured[core] = performance_drop(
+                    predictor.profiles[app].throughput, corun.throughput[label]
+                )
+    report = RunReport.new("predict", spec=spec, config=config,
+                           command="repro-predict")
+    predictions = []
     rows = []
     for core, app in enumerate(flows):
         competitors = flows[:core] + flows[core + 1:]
         predicted = predictor.predict_drop(app, competitors)
-        row = [f"{app}@{core}", pct(predicted),
-               f"{predictor.predict_throughput(app, competitors):,.0f}"]
+        predicted_pps = predictor.predict_throughput(app, competitors)
+        entry = {"flow": app, "core": core, "predicted_drop": predicted,
+                 "predicted_pps": predicted_pps}
+        row = [f"{app}@{core}", pct(predicted), f"{predicted_pps:,.0f}"]
         if args.validate:
+            entry["measured_drop"] = measured[core]
+            entry["error"] = predicted - measured[core]
             row.extend([pct(measured[core]), pct(predicted - measured[core])])
+        predictions.append(entry)
         rows.append(row)
-    headers = ["flow", "predicted drop", "predicted pkts/sec"]
-    if args.validate:
-        headers.extend(["measured drop", "error"])
-    print(format_table(headers, rows, title="Deployment prediction"))
+    report.results["deployment"] = flows
+    report.results["predictions"] = predictions
+    if corun is not None:
+        report.add_result_flows(corun.result)
+    if not args.json:
+        headers = ["flow", "predicted drop", "predicted pkts/sec"]
+        if args.validate:
+            headers.extend(["measured drop", "error"])
+        print(format_table(headers, rows, title="Deployment prediction"))
+    _finish(args, session, report)
     return 0
 
 
@@ -158,23 +258,36 @@ def schedule_main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(f"need exactly {spec.total_cores} flows")
     types = sorted(set(flows))
     print(f"profiling {', '.join(types)}...", file=sys.stderr)
-    profiles = profile_apps(types, spec, seed=config.seed,
-                            warmup_packets=config.solo_warmup,
-                            measure_packets=config.solo_measure)
-    study = PlacementStudy(spec, profiles, seed=config.seed,
-                           warmup_packets=config.corun_warmup,
-                           measure_packets=config.corun_measure)
-    result = study.run(flows, method="simulate")
-    print(format_table(
-        ["placement", "avg drop"],
-        [["best:  " + " | ".join("+".join(g) for g in result.best.split),
-          pct(result.best.average_drop)],
-         ["worst: " + " | ".join("+".join(g) for g in result.worst.split),
-          pct(result.worst.average_drop)]],
-        title="Contention-aware scheduling study",
-    ))
-    print(f"\nmaximum overall gain from placement: "
-          f"{pct(result.scheduling_gain)}")
+    with _observe(args, parser) as session:
+        profiles = profile_apps(types, spec, seed=config.seed,
+                                warmup_packets=config.solo_warmup,
+                                measure_packets=config.solo_measure)
+        study = PlacementStudy(spec, profiles, seed=config.seed,
+                               warmup_packets=config.corun_warmup,
+                               measure_packets=config.corun_measure)
+        result = study.run(flows, method="simulate")
+    report = RunReport.new("schedule", spec=spec, config=config,
+                           command="repro-schedule")
+    report.results["deployment"] = flows
+    report.results["scheduling_gain"] = result.scheduling_gain
+    for name, outcome in (("best", result.best), ("worst", result.worst)):
+        report.results[name] = {
+            "split": [list(group) for group in outcome.split],
+            "average_drop": outcome.average_drop,
+            "per_flow_drop": dict(outcome.per_flow_drop),
+        }
+    if not args.json:
+        print(format_table(
+            ["placement", "avg drop"],
+            [["best:  " + " | ".join("+".join(g) for g in result.best.split),
+              pct(result.best.average_drop)],
+             ["worst: " + " | ".join("+".join(g) for g in result.worst.split),
+              pct(result.worst.average_drop)]],
+            title="Contention-aware scheduling study",
+        ))
+        print(f"\nmaximum overall gain from placement: "
+              f"{pct(result.scheduling_gain)}")
+    _finish(args, session, report)
     return 0
 
 
@@ -195,22 +308,31 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     spec = config.socket_spec()
     print(f"profiling {args.app} and sweeping {args.competitors} SYN "
           "competitors...", file=sys.stderr)
-    curve = sweep_sensitivity(
-        args.app, spec, seed=config.seed,
-        n_competitors=args.competitors,
-        warmup_packets=config.solo_warmup,
-        measure_packets=config.solo_measure,
-    )
-    rows = [[f"{refs / 1e6:.1f}M", pct(drop)] for refs, drop in curve.points]
-    print(format_table(["competing refs/s", "drop"], rows,
-                       title=f"{args.app} sensitivity curve"))
-    print()
-    print(plot_curve(
-        [(refs / 1e6, 100 * drop) for refs, drop in curve.points],
-        name=args.app, x_label="competing Mrefs/s", y_label="drop %",
-    ))
-    print(f"\nturning point (80% of max drop): "
-          f"{curve.turning_point() / 1e6:.1f}M refs/s")
+    with _observe(args, parser) as session:
+        curve = sweep_sensitivity(
+            args.app, spec, seed=config.seed,
+            n_competitors=args.competitors,
+            warmup_packets=config.solo_warmup,
+            measure_packets=config.solo_measure,
+        )
+    report = RunReport.new("sweep", spec=spec, config=config,
+                           command="repro-sweep")
+    report.results["app"] = args.app
+    report.results["n_competitors"] = args.competitors
+    report.results["points"] = [[refs, drop] for refs, drop in curve.points]
+    report.results["turning_point_refs_per_sec"] = curve.turning_point()
+    if not args.json:
+        rows = [[f"{refs / 1e6:.1f}M", pct(drop)] for refs, drop in curve.points]
+        print(format_table(["competing refs/s", "drop"], rows,
+                           title=f"{args.app} sensitivity curve"))
+        print()
+        print(plot_curve(
+            [(refs / 1e6, 100 * drop) for refs, drop in curve.points],
+            name=args.app, x_label="competing Mrefs/s", y_label="drop %",
+        ))
+        print(f"\nturning point (80% of max drop): "
+              f"{curve.turning_point() / 1e6:.1f}M refs/s")
+    _finish(args, session, report)
     return 0
 
 

@@ -36,6 +36,11 @@ class Pipeline:
         self.tx = tx if tx is not None else ToDevice()
         self.elements: List[Element] = list(elements)
         self.dropped = 0
+        #: Per-element attribution of the most recent packet,
+        #: ``[(element, refs, instructions), ...]``; populated only while
+        #: a tracer is attached (the engine reads it at packet boundary).
+        self.trace_marks = None
+        self._tracer = None
         self.rx.initialize(env)
         self.tx.initialize(env)
         for element in self.elements:
@@ -43,6 +48,9 @@ class Pipeline:
 
     def attach_run(self, machine, flow_run) -> None:
         """Forward live run-state bindings to elements that want them."""
+        tracer = getattr(machine, "tracer", None)
+        if tracer is not None and tracer.active:
+            self._tracer = tracer
         for element in [self.rx, self.tx, *self.elements]:
             attach = getattr(element, "attach_run", None)
             if attach is not None:
@@ -50,6 +58,8 @@ class Pipeline:
 
     def run_packet(self, ctx: AccessContext):
         """Pull one packet from the source and run it through the chain."""
+        if self._tracer is not None:
+            return self._run_packet_traced(ctx)
         packet = self.source.next_packet()
         dma = self.rx.receive(ctx, packet)
         for element in self.elements:
@@ -63,6 +73,40 @@ class Pipeline:
                 result = result[1]
             packet = result
         self.tx.send(ctx, packet)
+        return dma
+
+    def _run_packet_traced(self, ctx: AccessContext):
+        """The tracing twin of :meth:`run_packet`.
+
+        Identical processing, but each step's share of the packet's work
+        (memory references, instructions) is recorded into
+        :attr:`trace_marks` for the engine's packet-span trace events.
+        Kept separate so the untraced hot path pays only one ``is None``
+        check per packet.
+        """
+        marks = []
+        refs0, instr0 = ctx.n_references, ctx.instructions
+        packet = self.source.next_packet()
+        dma = self.rx.receive(ctx, packet)
+        refs1, instr1 = ctx.n_references, ctx.instructions
+        marks.append((self.rx.name, refs1 - refs0, instr1 - instr0))
+        for element in self.elements:
+            result = element.process(ctx, packet)
+            refs0, instr0 = refs1, instr1
+            refs1, instr1 = ctx.n_references, ctx.instructions
+            marks.append((element.name, refs1 - refs0, instr1 - instr0))
+            if result is None:
+                self.dropped += 1
+                self.trace_marks = marks
+                return dma
+            if isinstance(result, tuple):
+                result = result[1]
+            packet = result
+        self.tx.send(ctx, packet)
+        refs0, instr0 = refs1, instr1
+        marks.append((self.tx.name, ctx.n_references - refs0,
+                      ctx.instructions - instr0))
+        self.trace_marks = marks
         return dma
 
     def process_one(self, ctx: AccessContext, packet: Packet) -> Optional[Packet]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],
@@ -42,6 +42,55 @@ def pct(value: float) -> str:
 def millions(value: float) -> str:
     """A rate in millions/sec."""
     return f"{value / 1e6:.2f}M"
+
+
+def summarize_report(data: Dict) -> str:
+    """Render a :class:`~repro.obs.RunReport` dict as human-readable text.
+
+    The inverse direction of ``--json``: given a report produced by a CLI
+    or :meth:`RunResult.report`, print the headline facts (kind, platform,
+    per-flow throughput table) without the consumer needing to know the
+    schema. Unknown/missing sections are skipped, so this renders partial
+    documents too.
+    """
+    lines: List[str] = []
+    kind = data.get("kind", "run")
+    command = data.get("command") or ""
+    head = f"{kind} report"
+    if command:
+        head += f" ({command})"
+    lines.append(head)
+    platform = data.get("platform") or {}
+    if platform:
+        lines.append(
+            f"  platform: scale 1/{data.get('scale', '?')}, "
+            f"{platform.get('sockets', '?')}x{platform.get('cores_per_socket', '?')} cores, "
+            f"{millions(platform.get('freq_hz', 0.0))}Hz"
+        )
+    if data.get("seed") is not None:
+        lines.append(f"  seed: {data['seed']}")
+    flows = data.get("flows") or []
+    if flows:
+        rows = [
+            [f.get("label", "?"), f"{f.get('packets_per_sec', 0.0):,.0f}",
+             f"{f.get('cycles_per_packet', 0.0):.0f}",
+             pct(f.get("l3_hit_rate", 0.0))]
+            for f in flows
+        ]
+        lines.append("")
+        lines.append(format_table(
+            ["flow", "pkts/sec", "cyc/pkt", "L3 hit rate"], rows))
+    timeseries = data.get("timeseries") or {}
+    if timeseries:
+        n_points = sum(
+            len(points)
+            for run in timeseries.values()
+            for points in run.values()
+        )
+        lines.append("")
+        lines.append(f"  time series: {len(timeseries)} run(s), "
+                     f"{n_points} interval samples")
+    return "\n".join(lines)
 
 
 def _fmt(cell) -> str:

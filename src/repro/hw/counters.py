@@ -50,7 +50,14 @@ class CoreCounters:
             self.tag_hits.extend([0] * (n - len(self.tag_hits)))
 
     def copy(self) -> "CoreCounters":
-        """A snapshot of the current values."""
+        """A snapshot of the current values.
+
+        Grows the tag arrays first: a snapshot taken before a late tag
+        registration must not hand short arrays to downstream consumers
+        (``delta`` re-grows both sides, but time-series samplers and
+        report serializers read ``tag_refs`` directly).
+        """
+        self._grow_tags()
         snap = CoreCounters.__new__(CoreCounters)
         for field in ("cycles", "instructions", "packets", "l1_hits", "l2_hits",
                       "l3_refs", "l3_hits", "l3_misses", "remote_refs",
@@ -59,6 +66,15 @@ class CoreCounters:
         snap.tag_refs = list(self.tag_refs)
         snap.tag_hits = list(self.tag_hits)
         return snap
+
+    def as_dict(self) -> Dict[str, float]:
+        """The scalar counters as plain data (observability serializers)."""
+        return {
+            field: getattr(self, field)
+            for field in ("cycles", "instructions", "packets", "l1_hits",
+                          "l2_hits", "l3_refs", "l3_hits", "l3_misses",
+                          "remote_refs", "mc_wait_cycles", "gap_cycles")
+        }
 
     def delta(self, earlier: "CoreCounters") -> "CoreCounters":
         """Counts accumulated since the ``earlier`` snapshot."""

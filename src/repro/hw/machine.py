@@ -24,6 +24,8 @@ from typing import Callable, Dict, List, Optional
 from ..constants import CACHE_LINE_BITS, DEFAULT_SEED, NUMA_DOMAIN_SHIFT
 from ..mem.access import AccessContext, TAGS
 from ..mem.allocator import AddressSpace
+from ..obs.session import current_session
+from ..obs.trace import NULL_TRACER, Tracer
 from .cache import SetAssociativeCache
 from .counters import CoreCounters, FlowStats
 from .dram import MemoryController
@@ -87,10 +89,12 @@ class RunResult:
     """Outcome of one :meth:`Machine.run`: per-flow statistics."""
 
     def __init__(self, spec: PlatformSpec, flows: List[FlowRun],
-                 events: int, end_clock: float):
+                 events: int, end_clock: float, metrics=None):
         self.spec = spec
         self.events = events
         self.end_clock = end_clock
+        #: The run's MetricsSampler when time-series sampling was on.
+        self.metrics = metrics
         self.stats: Dict[str, FlowStats] = {}
         self.flow_labels: List[str] = []
         for fr in flows:
@@ -114,15 +118,51 @@ class RunResult:
             s.l3_refs_per_sec for lbl, s in self.stats.items() if lbl != exclude
         )
 
+    def timeseries(self, label: str):
+        """The sampled :class:`~repro.obs.metrics.FlowSeries` of one flow.
+
+        Requires the machine to have run with a metrics sampler attached.
+        """
+        if self.metrics is None:
+            raise RuntimeError(
+                "no metrics were sampled; pass metrics=MetricsSampler(...) "
+                "to Machine or run inside repro.obs.observe(...)"
+            )
+        return self.metrics.series(label)
+
+    def report(self, kind: str = "run", config=None) -> "object":
+        """This run as a machine-readable :class:`~repro.obs.RunReport`."""
+        from ..obs.report import RunReport
+
+        report = RunReport.new(kind, spec=self.spec, config=config)
+        report.add_result_flows(self)
+        report.results["events"] = self.events
+        report.results["end_clock_cycles"] = self.end_clock
+        if self.metrics is not None:
+            report.attach_metrics(self.metrics)
+        return report
+
 
 class Machine:
     """One simulated server. Build it, add flows, call :meth:`run` once."""
 
     def __init__(self, spec: Optional[PlatformSpec] = None, seed: int = DEFAULT_SEED,
-                 record_latencies: bool = False):
+                 record_latencies: bool = False,
+                 tracer: Optional[Tracer] = None, metrics=None):
         self.spec = spec if spec is not None else PlatformSpec.westmere()
         self.seed = seed
         self.record_latencies = record_latencies
+        # Explicit observability arguments win; otherwise inherit the
+        # ambient obs session (repro.obs.observe), if one is active.
+        session = current_session()
+        if session is not None:
+            if tracer is None:
+                tracer = session.tracer
+            if metrics is None:
+                metrics = session.new_sampler()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional ``repro.obs.MetricsSampler`` (one run's time series).
+        self.metrics = metrics
         self.space = AddressSpace(self.spec.n_sockets)
         self.l3 = [
             SetAssociativeCache(self.spec.l3_size, self.spec.l3_ways, f"L3.{s}")
@@ -259,6 +299,21 @@ class Machine:
                 raise RuntimeError("tag registry changed mid-run")
             heappush(heap, (fr.clock, fr.index))
 
+        # Observability bindings. ``trace_on``/``metrics_on`` are the
+        # single boolean guards the hot loop checks; with both off the
+        # loop below is byte-for-byte the pre-observability engine plus
+        # those checks (see tests/test_obs_overhead.py).
+        tracer = self.tracer
+        trace_on = tracer.active
+        sampler = self.metrics
+        metrics_on = sampler is not None
+        if trace_on:
+            tracer.begin_run(self)
+        if metrics_on:
+            sampler.begin(self)
+            metrics_due = sampler.next_due
+        mem_sample = tracer.mem_sample if trace_on else 0
+
         stop = False
         while heap and not stop:
             clock, i = heappop(heap)
@@ -293,18 +348,30 @@ class Machine:
                                     and fr.snap_start is not None
                                     and not fr.done):
                                 fr.latencies.append(clock - fr.packet_start)
+                            if trace_on:
+                                tracer.packet(
+                                    i, fr.packet_start, clock, c.packets,
+                                    marks=getattr(fl, "trace_marks", None))
                         if c.packets == fr.warmup_target and fr.snap_start is None:
                             c.cycles = clock
                             fr.snap_start = c.copy()
+                            if trace_on:
+                                tracer.phase(i, clock, "measure_begin",
+                                             packets=c.packets)
                         elif c.packets == fr.measure_target and not fr.done:
                             c.cycles = clock
                             fr.snap_end = c.copy()
                             fr.done = True
+                            if trace_on:
+                                tracer.phase(i, clock, "measure_end",
+                                             packets=c.packets)
                             if fr.measured:
                                 n_waiting -= 1
                                 if n_waiting == 0:
                                     stop = True
                                     break
+                        if metrics_on and clock >= metrics_due[i]:
+                            sampler.sample(i, clock, c)
                     # -- generate next packet ---------------------------------
                     if events > max_events:
                         raise RuntimeError(
@@ -395,6 +462,8 @@ class Machine:
                                 lat += qpi.transfer(now)
                                 c.remote_refs += 1
                             clock = now + lat
+                            if trace_on and c.l3_misses % mem_sample == 0:
+                                tracer.mem(i, now, wait, dom, dom != home)
                 c.gap_cycles += gap
                 pc += 3
                 events += 1
@@ -421,4 +490,9 @@ class Machine:
             if fr.snap_start is not None and fr.snap_end is None:
                 fr.counters.cycles = fr.clock
                 fr.snap_end = fr.counters.copy()
-        return RunResult(self.spec, flows, events, end_clock)
+        if metrics_on:
+            sampler.finish(flows)
+        if trace_on:
+            tracer.end_run(end_clock, events)
+        return RunResult(self.spec, flows, events, end_clock,
+                         metrics=sampler)

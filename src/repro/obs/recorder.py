@@ -1,0 +1,114 @@
+"""Benchmark recording: ``BENCH_<name>.json`` artifacts.
+
+Each benchmark (the paper's tables/figures under ``benchmarks/``) records
+its headline series — throughputs, drop matrices, curves, timings — as
+one JSON file per figure. Runs accumulate a performance trajectory across
+PRs: CI uploads the files as artifacts, and ``benchmarks/record.py``
+regenerates them standalone without the pytest harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Optional
+
+#: Schema identifier for benchmark records.
+SCHEMA = "repro.bench_record/1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce payload values into JSON-serializable shapes.
+
+    Benchmarks hand over whatever their result objects hold: tuples,
+    tuple-keyed dicts (e.g. the Figure 2 matrix), dataclasses (solo
+    profiles), numpy scalars. Keys become strings; sequences become
+    lists; unknown objects fall back to ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {
+            ("/".join(map(str, k)) if isinstance(k, tuple) else str(k)):
+                _jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+class BenchRecorder:
+    """Writes one ``BENCH_<name>.json`` per recorded benchmark."""
+
+    def __init__(self, out_dir: str = "bench_reports",
+                 config: Optional[Any] = None):
+        self.out_dir = out_dir
+        self.config = config if config is not None else {}
+        self.written: Dict[str, str] = {}
+
+    def record(self, name: str, data: Dict[str, Any],
+               benchmark=None) -> str:
+        """Write the record for ``name``; returns the file path.
+
+        ``benchmark`` optionally carries a pytest-benchmark fixture whose
+        wall-clock stats are embedded under ``timing`` (seconds).
+        """
+        if not name or any(c in name for c in "/\\"):
+            raise ValueError(f"bad benchmark name {name!r}")
+        record: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "name": name,
+            "config": _jsonable(self.config),
+            "data": _jsonable(data),
+        }
+        timing = _benchmark_timing(benchmark)
+        if timing:
+            record["timing"] = timing
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, f"BENCH_{name}.json")
+        with open(path, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        self.written[name] = path
+        return path
+
+
+def _benchmark_timing(benchmark) -> Dict[str, float]:
+    """Extract wall-clock stats from a pytest-benchmark fixture, if any."""
+    if benchmark is None:
+        return {}
+    try:
+        stats = benchmark.stats.stats
+        return {
+            "mean_s": float(stats.mean),
+            "min_s": float(stats.min),
+            "max_s": float(stats.max),
+            "rounds": int(stats.rounds),
+        }
+    except (AttributeError, TypeError):
+        return {}
+
+
+def load_record(path: str) -> Dict[str, Any]:
+    """Read a ``BENCH_*.json`` file back, checking its schema marker."""
+    with open(path) as fh:
+        record = json.load(fh)
+    if record.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a bench record "
+                         f"(schema {record.get('schema')!r})")
+    return record

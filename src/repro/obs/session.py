@@ -1,0 +1,91 @@
+"""Observability sessions: ambient tracer/metrics configuration.
+
+The analysis layers (profiler, prediction sweeps, scheduling studies)
+construct machines internally; threading tracer and sampler arguments
+through every call chain would touch every signature in the package.
+Instead, an :class:`ObsSession` installs process-ambient defaults:
+
+    with observe(tracer=tracer, metrics_interval_us=50.0) as session:
+        predictor = ContentionPredictor.build(["MON", "RE"], spec)
+        # every Machine built inside inherits the tracer and gets a
+        # fresh MetricsSampler
+
+    session.samplers        # one per machine run, in construction order
+
+A machine built with explicit ``tracer=`` / ``metrics=`` arguments always
+wins over the ambient session. Sessions nest; the innermost applies.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from .metrics import MetricsSampler
+from .trace import NULL_TRACER, Tracer
+
+_CURRENT: List["ObsSession"] = []
+
+
+class ObsSession:
+    """One scope of ambient observability configuration."""
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics_interval_us: Optional[float] = None,
+                 metrics_interval_cycles: Optional[float] = None):
+        if metrics_interval_us is not None and metrics_interval_cycles is not None:
+            raise ValueError("specify at most one metrics interval unit")
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._interval_us = metrics_interval_us
+        self._interval_cycles = metrics_interval_cycles
+        #: Samplers handed to machines, in machine-construction order.
+        self.samplers: List[MetricsSampler] = []
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return (self._interval_us is not None
+                or self._interval_cycles is not None)
+
+    def new_sampler(self) -> Optional[MetricsSampler]:
+        """A fresh sampler for one machine (None when metrics are off)."""
+        if not self.metrics_enabled:
+            return None
+        sampler = MetricsSampler(interval_us=self._interval_us,
+                                 interval_cycles=self._interval_cycles)
+        self.samplers.append(sampler)
+        return sampler
+
+    def timeseries_payload(self) -> Dict[str, Dict[str, list]]:
+        """All sampled series, keyed ``run<N>`` in machine order."""
+        out: Dict[str, Dict[str, list]] = {}
+        for index, sampler in enumerate(self.samplers):
+            payload = sampler.payload()
+            if payload:
+                out[f"run{index}"] = payload
+        return out
+
+    def close(self) -> None:
+        """Flush the tracer's sink (writes file-backed trace formats)."""
+        if self.tracer is not NULL_TRACER:
+            self.tracer.close()
+
+
+def current_session() -> Optional[ObsSession]:
+    """The innermost active session, or None."""
+    return _CURRENT[-1] if _CURRENT else None
+
+
+@contextmanager
+def observe(tracer: Optional[Tracer] = None,
+            metrics_interval_us: Optional[float] = None,
+            metrics_interval_cycles: Optional[float] = None):
+    """Scope ambient observability over a block of machine-building code."""
+    session = ObsSession(tracer=tracer,
+                         metrics_interval_us=metrics_interval_us,
+                         metrics_interval_cycles=metrics_interval_cycles)
+    _CURRENT.append(session)
+    try:
+        yield session
+    finally:
+        _CURRENT.pop()
+        session.close()

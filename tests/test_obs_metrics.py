@@ -1,0 +1,131 @@
+"""Metrics layer: time series consistency with run aggregates."""
+
+import pytest
+
+from repro.apps.registry import app_factory
+from repro.hw.machine import Machine
+from repro.hw.topology import PlatformSpec
+from repro.obs import FlowSeries, MetricsSampler, percentile
+
+WARM, MEAS = 200, 400
+
+
+def _spec():
+    return PlatformSpec.westmere().scaled(64).single_socket()
+
+
+def _sampled_run(interval_us=20.0, apps=("MON", "IP")):
+    sampler = MetricsSampler(interval_us=interval_us)
+    machine = Machine(_spec(), seed=11, metrics=sampler)
+    for core, app in enumerate(apps):
+        machine.add_flow(app_factory(app), core=core)
+    result = machine.run(warmup_packets=WARM, measure_packets=MEAS)
+    return machine, result, sampler
+
+
+def test_interval_deltas_telescope_to_run_totals():
+    machine, _, sampler = _sampled_run()
+    for fr in machine.flows:
+        series = sampler.series(fr.label)
+        points = series.points()
+        assert len(points) >= 2
+        totals = series.totals()
+        # The series spans the whole run (t=0 snapshot to final close-out),
+        # so interval deltas must sum exactly to the engine's counters.
+        assert sum(p["packets"] for p in points) == totals.packets
+        assert totals.packets == fr.counters.packets
+        assert sum(p["l3_refs"] for p in points) == fr.counters.l3_refs
+        # Cycles telescope to the flow's end-of-run clock (the final
+        # close-out snapshot lands at ``fr.clock``).
+        assert sum(p["cycles"] for p in points) == pytest.approx(fr.clock)
+
+
+def test_interval_rates_are_positive_and_bounded():
+    _, _, sampler = _sampled_run()
+    series = sampler.series("MON@0")
+    for p in series.points():
+        assert p["t1_s"] > p["t0_s"]
+        assert p["pps"] >= 0
+        assert 0.0 <= p["l3_hit_rate"] <= 1.0
+        assert 0.0 <= p["mc_wait_frac"] <= 1.0
+
+
+def test_interval_spacing_follows_the_knob():
+    _, _, sampler = _sampled_run(interval_us=50.0)
+    series = sampler.series("MON@0")
+    points = series.points()
+    # Deadlines sit on a fixed 50us grid but samples land at the first
+    # packet boundary past each deadline, so widths jitter by about one
+    # packet around the knob (the final close-out interval is shorter).
+    widths = [p["t1_s"] - p["t0_s"] for p in points[:-1]]
+    assert widths
+    assert all(w >= 45e-6 for w in widths)
+    mean = sum(widths) / len(widths)
+    assert mean == pytest.approx(50e-6, rel=0.05)
+
+
+def test_drop_series_relative_to_solo():
+    _, _, sampler = _sampled_run()
+    series = sampler.series("MON@0")
+    solo_pps = max(p["pps"] for p in series.points())
+    drops = series.drop_series(solo_pps)
+    assert len(drops) == len(series.points())
+    for (_, drop), p in zip(drops, series.points()):
+        assert drop == pytest.approx(1.0 - p["pps"] / solo_pps)
+        assert drop >= 0.0
+
+
+def test_summary_percentiles_are_monotone():
+    _, _, sampler = _sampled_run()
+    summary = sampler.series("MON@0").summary()
+    for field, stats in summary.items():
+        assert stats["p0"] <= stats["p50"] <= stats["p90"] <= \
+            stats["p99"] <= stats["p100"], field
+        assert stats["p0"] <= stats["mean"] <= stats["p100"]
+
+
+def test_percentile_interpolates():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 100) == 40.0
+    assert percentile(values, 50) == 25.0
+    assert percentile([5.0], 99) == 5.0
+
+
+def test_sampler_requires_exactly_one_interval():
+    with pytest.raises(ValueError):
+        MetricsSampler()
+    with pytest.raises(ValueError):
+        MetricsSampler(interval_us=10.0, interval_cycles=100.0)
+
+
+def test_all_series_covers_every_flow():
+    machine, _, sampler = _sampled_run(apps=("MON", "IP", "FW"))
+    series = sampler.all_series()
+    assert sorted(series) == sorted(fr.label for fr in machine.flows)
+    assert all(isinstance(s, FlowSeries) for s in series.values())
+
+
+def test_result_timeseries_accessor():
+    _, result, _ = _sampled_run()
+    series = result.timeseries("MON@0")
+    assert series.points()
+    # Without a sampler attached, the accessor refuses.
+    machine = Machine(_spec(), seed=11)
+    machine.add_flow(app_factory("IP"), core=0)
+    bare = machine.run(warmup_packets=WARM, measure_packets=MEAS)
+    with pytest.raises(RuntimeError):
+        bare.timeseries("IP@0")
+
+
+def test_counters_copy_grows_tags_registered_late():
+    from repro.hw.counters import CoreCounters
+    from repro.mem.access import TAGS
+
+    counters = CoreCounters()
+    TAGS.register("obs_test_late_tag")
+    snap = counters.copy()
+    # The snapshot covers the late registration: downstream consumers
+    # (samplers, report serializers) index tag arrays directly.
+    assert len(snap.tag_refs) == len(TAGS)
+    assert len(snap.tag_hits) == len(TAGS)

@@ -1,0 +1,67 @@
+"""Disabled observability must not slow the engine's hot path.
+
+The engine hoists ``tracer.active`` / ``metrics is not None`` into locals
+before its event loop; with tracing off, the per-packet cost is a single
+boolean check. This guard compares a stock machine against one carrying a
+configured-but-disabled tracer and asserts the slowdown stays under 5%
+(with retries: wall-clock timing on shared CI workers is noisy).
+"""
+
+import time
+
+from repro.apps.registry import app_factory
+from repro.hw.machine import Machine
+from repro.hw.topology import PlatformSpec
+from repro.obs import ChromeTraceSink, ListSink, Tracer
+
+WARM, MEAS = 500, 2000
+MAX_OVERHEAD = 0.05
+ATTEMPTS = 5
+
+
+def _spec():
+    return PlatformSpec.westmere().scaled(32).single_socket()
+
+
+def _run_once(tracer):
+    machine = Machine(_spec(), seed=5, tracer=tracer)
+    machine.add_flow(app_factory("IP"), core=0)
+    machine.add_flow(app_factory("MON"), core=1)
+    start = time.perf_counter()
+    machine.run(warmup_packets=WARM, measure_packets=MEAS)
+    return time.perf_counter() - start
+
+
+def test_disabled_tracer_overhead_under_5_percent():
+    disabled = Tracer(ListSink(), enabled=False)
+    assert not disabled.active
+    # Warm caches/JIT-free interpreter state once before timing.
+    _run_once(None)
+    best = float("inf")
+    for _ in range(ATTEMPTS):
+        base = _run_once(None)
+        traced = _run_once(disabled)
+        if base <= 0:
+            continue
+        best = min(best, (traced - base) / base)
+        if best <= MAX_OVERHEAD:
+            break
+    assert best <= MAX_OVERHEAD, (
+        f"disabled tracing cost {best:.1%} over {ATTEMPTS} attempts")
+
+
+def test_enabled_tracing_records_without_breaking_results(tmp_path):
+    """Sanity companion: enabling tracing changes no simulation outcome."""
+    machine = Machine(_spec(), seed=5)
+    machine.add_flow(app_factory("IP"), core=0)
+    bare = machine.run(warmup_packets=200, measure_packets=400)
+
+    tracer = Tracer(ChromeTraceSink(str(tmp_path / "t.json")))
+    machine = Machine(_spec(), seed=5, tracer=tracer)
+    machine.add_flow(app_factory("IP"), core=0)
+    traced = machine.run(warmup_packets=200, measure_packets=400)
+    tracer.close()
+
+    assert traced["IP@0"].packets == bare["IP@0"].packets
+    assert traced["IP@0"].cycles == bare["IP@0"].cycles
+    assert traced.events == bare.events
