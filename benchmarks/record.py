@@ -12,22 +12,31 @@ emits, so CI can produce artifacts with::
 smoke pass; the default configuration matches the benchmark harness
 (scale 1/8, full packet counts — slow). Select a subset of figures by
 name, e.g. ``record.py --quick table1 fig2``.
+
+``--engine`` selects the execution engine: ``scalar`` (the default:
+the reference event loop), or ``batch``/``both`` which time every
+figure on the scalar engine *and* on the batch engine (cold stream
+cache, then warm), verify the payloads are identical, and record the
+speedups alongside the figure data. A payload divergence between
+engines makes the run exit non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict
 
+import repro.fastpath as fastpath
 from repro.apps.registry import REALISTIC_APPS
 from repro.core.prediction import sweep_sensitivity
 from repro.core.profiler import profile_apps
-from repro.experiments import fig2, fig5, fig6, fig9, table1
+from repro.experiments import fig2, fig5, fig6, fig9, multiflow, table1
 from repro.experiments.common import ExperimentConfig
 from repro.core.prediction import ContentionPredictor
-from repro.obs.recorder import BenchRecorder
+from repro.obs.recorder import BenchRecorder, _jsonable
 
 
 class _Context:
@@ -112,6 +121,15 @@ def _record_fig9(ctx: _Context) -> dict:
     }
 
 
+def _record_multiflow(ctx: _Context) -> dict:
+    result = multiflow.run(ctx.config)
+    return {
+        "rows": [list(row) for row in result.rows],
+        "shortfalls": {label: result.shortfall(label)
+                       for label, _ideal, _measured in result.rows},
+    }
+
+
 #: name -> payload builder. Order matters: later figures reuse earlier
 #: memoized prerequisites.
 FIGURES: Dict[str, Callable[[_Context], dict]] = {
@@ -120,11 +138,18 @@ FIGURES: Dict[str, Callable[[_Context], dict]] = {
     "fig5": _record_fig5,
     "fig6": _record_fig6,
     "fig9": _record_fig9,
+    "multiflow": _record_multiflow,
 }
 
 #: The --quick subset: cheap enough for a CI smoke pass, still covering a
-#: throughput table (table1) and a drop matrix (fig2).
-QUICK_FIGURES = ("table1", "fig2", "fig6")
+#: throughput table (table1), a drop matrix (fig2), and the shared-core
+#: study (multiflow).
+QUICK_FIGURES = ("table1", "fig2", "fig6", "multiflow")
+
+
+def _canonical(payload: dict) -> str:
+    """Engine-comparison form of a figure payload."""
+    return json.dumps(_jsonable(payload), sort_keys=True, default=str)
 
 
 def main(argv=None) -> int:
@@ -140,6 +165,12 @@ def main(argv=None) -> int:
                         help="override the platform scale-down factor")
     parser.add_argument("--out", default="bench_reports",
                         help="output directory (default bench_reports/)")
+    parser.add_argument("--engine", choices=("scalar", "batch", "both"),
+                        default="scalar",
+                        help="'scalar' records the reference engine only; "
+                             "'batch'/'both' time scalar vs. batch "
+                             "(cold+warm stream cache), verify identical "
+                             "payloads, and record the speedups")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -157,16 +188,71 @@ def main(argv=None) -> int:
         parser.error(f"unknown figure(s): {', '.join(unknown)}; "
                      f"known: {', '.join(FIGURES)}")
 
-    ctx = _Context(config)
     recorder = BenchRecorder(args.out, config=config)
+
+    if args.engine == "scalar":
+        ctx = _Context(config)
+        for name in names:
+            start = time.perf_counter()
+            payload = FIGURES[name](ctx)
+            elapsed = time.perf_counter() - start
+            payload["engine"] = "scalar"
+            payload["seconds"] = elapsed
+            path = recorder.record(name, payload)
+            print(f"[{elapsed:7.2f}s] {name:9s} -> {path}", file=sys.stderr)
+        print(f"{len(recorder.written)} record(s) in {args.out}/",
+              file=sys.stderr)
+        return 0
+
+    # batch / both: one scalar reference pass, one cold-cache batch pass,
+    # one warm-cache batch pass — figure by figure so each record carries
+    # its own three timings. Contexts memoize per pass, exactly like
+    # three independent record.py invocations would.
+    scalar_ctx = _Context(config)
+    cold_ctx = _Context(config)
+    warm_ctx = _Context(config)
+    fastpath.clear_stream_cache()
+    diverged = []
     for name in names:
         start = time.perf_counter()
-        payload = FIGURES[name](ctx)
-        elapsed = time.perf_counter() - start
+        ref_payload = FIGURES[name](scalar_ctx)
+        t_scalar = time.perf_counter() - start
+        with fastpath.use_engine("batch"):
+            start = time.perf_counter()
+            cold_payload = FIGURES[name](cold_ctx)
+            t_cold = time.perf_counter() - start
+            start = time.perf_counter()
+            warm_payload = FIGURES[name](warm_ctx)
+            t_warm = time.perf_counter() - start
+        ref_c = _canonical(ref_payload)
+        matches = {
+            "batch_cold": _canonical(cold_payload) == ref_c,
+            "batch_warm": _canonical(warm_payload) == ref_c,
+        }
+        payload = dict(ref_payload)
+        payload["engine"] = "both"
+        payload["engines"] = {
+            "scalar_seconds": t_scalar,
+            "batch_cold_seconds": t_cold,
+            "batch_warm_seconds": t_warm,
+            "payload_match": matches,
+        }
+        payload["speedup_cold"] = t_scalar / t_cold if t_cold else 0.0
+        payload["speedup"] = t_scalar / t_warm if t_warm else 0.0
         path = recorder.record(name, payload)
-        print(f"[{elapsed:7.2f}s] {name:8s} -> {path}", file=sys.stderr)
+        print(f"[scalar {t_scalar:6.2f}s | batch {t_cold:6.2f}s cold "
+              f"{t_warm:6.2f}s warm | x{payload['speedup_cold']:.2f}/"
+              f"x{payload['speedup']:.2f}] {name:9s} -> {path}",
+              file=sys.stderr)
+        for pass_label, ok in matches.items():
+            if not ok:
+                diverged.append(f"{name}:{pass_label}")
     print(f"{len(recorder.written)} record(s) in {args.out}/",
           file=sys.stderr)
+    if diverged:
+        print("ENGINE DIVERGENCE: payload mismatch in "
+              + ", ".join(diverged), file=sys.stderr)
+        return 1
     return 0
 
 

@@ -120,8 +120,14 @@ def make_app(name: str, env: FlowEnv,
 
     if control is not None:
         elements = [control] + elements
-    return Pipeline(name=name, env=env, source=source, elements=elements,
-                    measure_weight=MEASURE_WEIGHTS[name])
+    pipeline = Pipeline(name=name, env=env, source=source, elements=elements,
+                        measure_weight=MEASURE_WEIGHTS[name])
+    if control is None:
+        # (type, payload) plus the (seed, core, spec) the batch engine's
+        # cache key adds fully pin the generated stream — registry apps
+        # construct their tables and traffic from the seeded env.rng only.
+        pipeline.stream_signature = ("app", name, payload_bytes)
+    return pipeline
 
 
 def app_factory(name: str, **kwargs) -> Callable[[FlowEnv], object]:
@@ -130,6 +136,23 @@ def app_factory(name: str, **kwargs) -> Callable[[FlowEnv], object]:
     def build(env: FlowEnv):
         return make_app(name, env, **kwargs)
 
+    # Factory-level signature mirroring the one make_app stamps on the
+    # built flow, so the batch engine can recognise a cached stream before
+    # construction. Only parameter sets whose resulting instance signature
+    # we can predict get one; anything else simply skips the optimisation.
+    if name == "SYN" and set(kwargs) <= {"cpu_ops_per_ref", "refs_per_packet",
+                                         "array_bytes"}:
+        from .synthetic import syn_signature
+        build.stream_signature = syn_signature(
+            kwargs.get("cpu_ops_per_ref", 0), kwargs.get("refs_per_packet", 32),
+            kwargs.get("array_bytes"), "SYN")
+    elif name == "SYN_MAX" and set(kwargs) <= {"array_bytes"}:
+        from .synthetic import syn_signature
+        build.stream_signature = syn_signature(
+            0, 32, kwargs.get("array_bytes"), "SYN_MAX")
+    elif set(kwargs) <= {"payload_bytes"} and name in MEASURE_WEIGHTS:
+        build.stream_signature = (
+            "app", name, kwargs.get("payload_bytes", DEFAULT_PAYLOAD_BYTES))
     return build
 
 

@@ -25,6 +25,9 @@ class SynApp:
     """The SYN synthetic flow (standalone flow, no packet I/O path)."""
 
     measure_weight = 1.0
+    #: Generation depends only on the seeded per-flow RNG, never on live
+    #: run state — eligible for pregeneration by the batch engine.
+    timing_pure = True
 
     def __init__(self, env: FlowEnv, cpu_ops_per_ref: int = 0,
                  refs_per_packet: int = 32,
@@ -47,6 +50,14 @@ class SynApp:
         self._tag = TAGS.register("syn")
         self._gap = COST_SYN_CPU_OP[0] * cpu_ops_per_ref
         self._instr = COST_SYN_CPU_OP[1] * cpu_ops_per_ref + COST_SYN_REF[1]
+        #: Together with (machine seed, core, spec) this pins the whole
+        #: generated access stream (see repro.fastpath.streams). Uses the
+        #: *parameter* ``array_bytes`` (None means "L3-sized", which the
+        #: spec — part of the cache key — resolves) so the factory-level
+        #: signature below can be computed without building the flow.
+        self.stream_signature = syn_signature(cpu_ops_per_ref,
+                                              refs_per_packet,
+                                              array_bytes, name)
 
     def run_packet(self, ctx: AccessContext):
         """One SYN \"packet\": the configured CPU ops and random reads."""
@@ -65,6 +76,12 @@ class SynApp:
         return None
 
 
+def syn_signature(cpu_ops_per_ref: int, refs_per_packet: int,
+                  array_bytes: Optional[int], name: str):
+    """The stream signature a SynApp with these parameters will carry."""
+    return ("syn", name, cpu_ops_per_ref, refs_per_packet, array_bytes)
+
+
 def syn_factory(cpu_ops_per_ref: int = 0, refs_per_packet: int = 32,
                 array_bytes: Optional[int] = None, name: str = "SYN"):
     """Factory for :meth:`Machine.add_flow`."""
@@ -74,6 +91,10 @@ def syn_factory(cpu_ops_per_ref: int = 0, refs_per_packet: int = 32,
                       refs_per_packet=refs_per_packet,
                       array_bytes=array_bytes, name=name)
 
+    # Factory-level signature: lets Machine.add_flow find a cached stream
+    # (and skip construction) without calling build() at all.
+    build.stream_signature = syn_signature(cpu_ops_per_ref, refs_per_packet,
+                                           array_bytes, name)
     return build
 
 

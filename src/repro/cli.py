@@ -12,13 +12,16 @@ machine-readable :class:`~repro.obs.RunReport` instead of ASCII tables,
 ``--trace PATH`` writes a Chrome ``trace_event`` file of every simulated
 run (open in ``about:tracing`` or Perfetto), and ``--metrics-interval US``
 samples per-flow counter time series every US simulated microseconds
-(embedded in the JSON report).
+(embedded in the JSON report). ``--engine {scalar,batch}`` selects the
+execution engine — results are identical, the batch engine is faster on
+sweeps (see :mod:`repro.fastpath`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .apps.registry import APP_NAMES, REALISTIC_APPS, describe_apps
@@ -74,6 +77,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         default=None,
                         metavar="US", help="sample per-flow counter time "
                         "series every US simulated microseconds")
+    parser.add_argument("--engine", choices=("scalar", "batch"),
+                        default="scalar",
+                        help="execution engine: 'scalar' (reference event "
+                             "loop) or 'batch' (pregenerating engine, "
+                             "identical results, faster)")
 
 
 def _config(args) -> ExperimentConfig:
@@ -85,7 +93,11 @@ def _config(args) -> ExperimentConfig:
 
 
 def _observe(args, parser: argparse.ArgumentParser):
-    """The obs session for one CLI invocation, from its flags."""
+    """The obs+engine session for one CLI invocation, from its flags.
+
+    Combines the observability session with the ambient-engine context,
+    so every Machine the tools build internally runs on ``--engine``.
+    """
     tracer = None
     if args.trace:
         try:
@@ -93,11 +105,22 @@ def _observe(args, parser: argparse.ArgumentParser):
                             packet_sample=args.trace_sample)
         except OSError as exc:
             parser.error(f"--trace: cannot write {args.trace}: {exc}")
-    return observe(tracer=tracer, metrics_interval_us=args.metrics_interval)
+
+    @contextmanager
+    def _session():
+        from . import fastpath
+
+        with observe(tracer=tracer,
+                     metrics_interval_us=args.metrics_interval) as session:
+            with fastpath.use_engine(args.engine):
+                yield session
+
+    return _session()
 
 
 def _finish(args, session, report: RunReport) -> None:
     """Common tail: attach time series, emit JSON, announce the trace."""
+    report.results.setdefault("engine", args.engine)
     if args.metrics_interval is not None:
         report.timeseries.update(session.timeseries_payload())
     if args.json:

@@ -46,6 +46,11 @@ class Pipeline:
         for element in self.elements:
             element.initialize(env)
 
+    #: Set by builders (e.g. ``apps.registry.make_app``) whose pipelines
+    #: are fully pinned by their configuration; enables stream caching in
+    #: the batch engine. None means "do not cache".
+    stream_signature = None
+
     def attach_run(self, machine, flow_run) -> None:
         """Forward live run-state bindings to elements that want them."""
         tracer = getattr(machine, "tracer", None)
@@ -55,6 +60,23 @@ class Pipeline:
             attach = getattr(element, "attach_run", None)
             if attach is not None:
                 attach(machine, flow_run)
+
+    @property
+    def timing_pure(self) -> bool:
+        """True when generation never reads live run state.
+
+        Elements that declare ``attach_run`` (control loops, handoff
+        queue stages) consume clocks, counters, or cross-flow queues
+        while generating, so their packets cannot be pregenerated; a
+        traced pipeline records per-element marks and is treated the
+        same way.
+        """
+        if self._tracer is not None:
+            return False
+        return not any(
+            hasattr(element, "attach_run")
+            for element in (self.rx, self.tx, *self.elements)
+        )
 
     def run_packet(self, ctx: AccessContext):
         """Pull one packet from the source and run it through the chain."""

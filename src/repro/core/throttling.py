@@ -18,6 +18,10 @@ from ..mem.access import AccessContext
 class ThrottledFlow:
     """Wrap a flow; bound its L3 refs/sec at ``target_refs_per_sec``."""
 
+    #: The throttle loop reads live counters during generation, so its
+    #: packet stream cannot be pregenerated (batch engine runs it live).
+    timing_pure = False
+
     def __init__(self, inner, target_refs_per_sec: float,
                  adjust_every: int = 32, gain: float = 0.6):
         if target_refs_per_sec <= 0:
@@ -103,6 +107,20 @@ class TwoFacedFlow:
             attach = getattr(flow, "attach_run", None)
             if attach is not None:
                 attach(machine, flow_run)
+
+    @property
+    def timing_pure(self) -> bool:
+        """The trigger counts own packets only — pure iff both personas are."""
+        return (getattr(self.innocent, "timing_pure", False)
+                and getattr(self.aggressive, "timing_pure", False))
+
+    @property
+    def stream_signature(self):
+        inn = getattr(self.innocent, "stream_signature", None)
+        agg = getattr(self.aggressive, "stream_signature", None)
+        if inn is None or agg is None:
+            return None
+        return ("twofaced", self.trigger_packets, inn, agg)
 
     def run_packet(self, ctx: AccessContext):
         """Run the active persona (switching at the trigger)."""

@@ -1,0 +1,785 @@
+"""Packet-stream pregeneration and caching for the batch engine.
+
+The scalar engine interleaves *generation* (running the application's
+functional layer to produce one packet's access program) with *replay*
+(charging that program against the cache hierarchy). The batch engine
+separates the two: flows whose generation is **timing-pure** — the
+produced packet sequence depends only on flow-internal state (tables,
+seeded RNG), never on live run state such as counters, clocks, or other
+flows — have their packets pregenerated in blocks of ``BATCH_PACKETS``
+and flattened into arrays the replay loop consumes directly.
+
+Pregeneration is *exactly* equivalent because for a timing-pure flow the
+k-th call to ``run_packet`` produces the same program no matter when it
+is issued; the engine still applies every per-packet side effect (DMA
+invalidation, counter updates, snapshots) at the same point of the
+global interleaving as the scalar engine.
+
+Pure flows additionally declare a ``stream_signature``: a hashable value
+that, together with the machine seed, core, and platform spec, fully
+determines the generated stream. Streams of signatured flows are stored
+in a process-wide :class:`StreamCache` in *region-relative* form — each
+referenced line is re-expressed as (region index, line offset) against
+the flow's allocation list — so a later machine that builds the same
+flow (possibly at different absolute addresses, because other flows
+were allocated first) can rebase and replay the stream without paying
+generation again. That is the dominant cost of dense experiment sweeps
+(Figure 2's 25 co-runs re-generate the same five flow types over and
+over), and the reason ``engine="batch"`` is fast.
+
+Cached replay preserves everything the engine observes — counters,
+clocks, drop counts (patched via ``dropped``) — but leaves app-internal
+diagnostic state (element hit counters, RNG position) untouched, since
+the functional layer never runs. The differential suite pins down the
+engine-visible equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Default pregeneration block size (packets per block).
+BATCH_PACKETS = 256
+
+#: Default cache capacity in stored memory references. One ref costs
+#: ~40 bytes across the arrays, so the default is on the order of
+#: 150 MB — far more than the experiment suites need, small enough to
+#: never matter on a development machine.
+DEFAULT_CACHE_REFS = 4_000_000
+
+
+def is_timing_pure(flow) -> bool:
+    """True when ``flow`` declares generation independent of run state."""
+    return bool(getattr(flow, "timing_pure", False))
+
+
+def stream_signature(flow):
+    """The flow's stream signature, or None when it cannot be cached."""
+    return getattr(flow, "stream_signature", None)
+
+
+class PacketBlock:
+    """One block of pregenerated packets, flattened for the replay loop.
+
+    All per-reference sequences are plain Python lists (fastest to index
+    from the interpreter loop); the numpy round-trip happens once per
+    block to precompute set indices and home domains.
+    """
+
+    __slots__ = (
+        "start", "n_packets", "gaps", "lines", "tags",
+        "l1i", "l2i", "l3i", "doms", "samep",
+        "bounds", "trailing", "instr", "idle", "dma", "dropped",
+    )
+
+    def __init__(self, start: int, n_packets: int,
+                 gaps: List[int], lines: List[int], tags: List[int],
+                 bounds: List[int], trailing: List[int], instr: List[int],
+                 idle: List[bool], dma: List[Optional[Tuple[int, ...]]],
+                 dropped: List[int]):
+        self.start = start              # absolute index of first packet
+        self.n_packets = n_packets
+        self.gaps = gaps
+        self.lines = lines
+        self.tags = tags
+        self.bounds = bounds            # ref offset per packet, len n+1
+        self.trailing = trailing
+        self.instr = instr
+        self.idle = idle
+        self.dma = dma                  # per packet: tuple of lines or None
+        self.dropped = dropped          # cumulative flow.dropped after packet
+        self.l1i: List[int] = []
+        self.l2i: List[int] = []
+        self.l3i: List[int] = []
+        self.doms: List[int] = []
+        self.samep: List[bool] = []
+
+    @property
+    def n_refs(self) -> int:
+        return len(self.lines)
+
+    def finalize(self, l1_nsets: int, l2_nsets: int, l3_nsets: int,
+                 domain_shift: int) -> None:
+        """Precompute per-reference cache set indices and home domains.
+
+        This is the vectorized part of the batch engine's address path:
+        one numpy pass per block replaces three modulo operations and a
+        shift per reference in the interpreter loop. ``samep`` marks
+        references to the same line as their predecessor *within one
+        packet*: such a reference is an unconditional L1 hit (the line
+        was made most-recently-used by the previous reference and
+        nothing — not even a DMA invalidation, which only happens at
+        packet boundaries — can intervene), so the replay loop skips the
+        membership probes entirely.
+        """
+        if not self.lines:
+            self.l1i = []
+            self.l2i = []
+            self.l3i = []
+            self.doms = []
+            self.samep = []
+            return
+        arr = np.asarray(self.lines, dtype=np.int64)
+        self.l1i = (arr % l1_nsets).tolist()
+        self.l2i = (arr % l2_nsets).tolist()
+        self.l3i = (arr % l3_nsets).tolist()
+        self.doms = (arr >> domain_shift).tolist()
+        same = np.zeros(len(arr), dtype=bool)
+        if len(arr) > 1:
+            same[1:] = arr[1:] == arr[:-1]
+        # A packet boundary invalidates the "previous reference" chain.
+        for b in self.bounds[:-1]:
+            if b < len(same):
+                same[b] = False
+        self.samep = same.tolist()
+
+
+class _RelativeBlock:
+    """A PacketBlock in region-relative, numpy form (the cached shape)."""
+
+    __slots__ = ("start", "n_packets", "gaps", "ridx", "rdelta", "tags",
+                 "bounds", "trailing", "instr", "idle",
+                 "dma_ridx", "dma_rdelta", "dma_bounds", "dropped")
+
+    def __init__(self, block: PacketBlock, region_table):
+        self.start = block.start
+        self.n_packets = block.n_packets
+        self.gaps = np.asarray(block.gaps, dtype=np.int64)
+        self.tags = np.asarray(block.tags, dtype=np.int64)
+        self.bounds = list(block.bounds)
+        self.trailing = list(block.trailing)
+        self.instr = list(block.instr)
+        self.idle = list(block.idle)
+        self.dropped = list(block.dropped)
+        lines = np.asarray(block.lines, dtype=np.int64)
+        self.ridx, self.rdelta = region_table.relativize(lines)
+        # DMA lines, flattened with per-packet bounds.
+        flat: List[int] = []
+        dma_bounds = [0]
+        for dma in block.dma:
+            if dma:
+                flat.extend(dma)
+            dma_bounds.append(len(flat))
+        dlines = np.asarray(flat, dtype=np.int64)
+        self.dma_ridx, self.dma_rdelta = region_table.relativize(dlines)
+        self.dma_bounds = dma_bounds
+
+    @property
+    def n_refs(self) -> int:
+        return len(self.gaps)
+
+    def rebase(self, region_table: "RegionTable") -> PacketBlock:
+        """Materialize a PacketBlock against another machine's regions."""
+        lines = region_table.absolutize(self.ridx, self.rdelta)
+        dlines = region_table.absolutize(self.dma_ridx, self.dma_rdelta)
+        dlist = dlines.tolist()
+        dma: List[Optional[Tuple[int, ...]]] = []
+        bounds = self.dma_bounds
+        for k in range(self.n_packets):
+            lo, hi = bounds[k], bounds[k + 1]
+            dma.append(tuple(dlist[lo:hi]) if hi > lo else None)
+        return PacketBlock(
+            self.start, self.n_packets,
+            self.gaps.tolist(), lines.tolist(), self.tags.tolist(),
+            list(self.bounds), list(self.trailing), list(self.instr),
+            list(self.idle), dma, list(self.dropped),
+        )
+
+
+class RegionTable:
+    """A flow's allocated regions, indexable for relativize/absolutize.
+
+    Regions are listed in allocation order (which is deterministic for a
+    given factory, seed, core, and spec), so region *index* is the stable
+    coordinate across machines while region *base* moves with whatever
+    was allocated earlier.
+    """
+
+    def __init__(self, regions):
+        self.regions = list(regions)
+        order = sorted(range(len(self.regions)),
+                       key=lambda i: self.regions[i].base)
+        self._starts = np.asarray(
+            [self.regions[i].base >> 6 for i in order], dtype=np.int64)
+        self._ends = np.asarray(
+            [(self.regions[i].end + 63) >> 6 for i in order], dtype=np.int64)
+        self._order = np.asarray(order, dtype=np.int64)
+        self._bases_by_index = np.asarray(
+            [r.base >> 6 for r in self.regions], dtype=np.int64)
+
+    def fingerprint(self) -> Tuple:
+        """Shape check for cache hits: sizes/names in allocation order."""
+        return tuple((r.name, r.size) for r in self.regions)
+
+    def relativize(self, lines: np.ndarray):
+        """Map absolute lines to (region index, line offset).
+
+        Lines outside every region get index -1 and keep their absolute
+        value in the offset — they rebase only onto machines where the
+        address happens to be identical, which the cache key guarantees
+        never to rely on (a signatured flow touches only its own
+        regions; the -1 path is a defensive escape hatch, and any -1
+        entry disqualifies the stream from cache storage).
+        """
+        if len(lines) == 0:
+            return (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        pos = np.searchsorted(self._starts, lines, side="right") - 1
+        pos = np.clip(pos, 0, len(self._starts) - 1)
+        inside = (lines >= self._starts[pos]) & (lines < self._ends[pos])
+        ridx = np.where(inside, self._order[pos], -1)
+        rdelta = np.where(inside, lines - self._starts[pos], lines)
+        return ridx, rdelta
+
+    def absolutize(self, ridx: np.ndarray, rdelta: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`relativize` against *this* machine's bases."""
+        if len(ridx) == 0:
+            return np.zeros(0, dtype=np.int64)
+        starts = np.asarray(
+            [self.regions[i].base >> 6 for i in range(len(self.regions))],
+            dtype=np.int64)
+        # Region bases in relativize() order are start-of-region lines.
+        out = np.where(ridx >= 0, starts[np.clip(ridx, 0, None)] + rdelta,
+                       rdelta)
+        return out
+
+
+class StreamMeta:
+    """Construction metadata cached with a stream.
+
+    Enough to *skip flow construction entirely* on later machines: the
+    region layout to re-allocate (``(name, size, is_data_domain,
+    abs_domain)`` in allocation-capture order) and the flow attributes
+    the engine and experiment code read. See :class:`StubFlow`.
+    """
+
+    __slots__ = ("layout", "flow_name", "measure_weight", "shared_k",
+                 "trigger_packets", "has_dropped")
+
+    def __init__(self, layout: Tuple, flow_name: str, measure_weight: float,
+                 shared_k: Optional[int], trigger_packets: Optional[int],
+                 has_dropped: bool):
+        self.layout = layout
+        self.flow_name = flow_name
+        self.measure_weight = measure_weight
+        self.shared_k = shared_k
+        self.trigger_packets = trigger_packets
+        self.has_dropped = has_dropped
+
+
+def build_meta(flow, regions, data_domain: int) -> StreamMeta:
+    """Record a flow's construction metadata for later skeleton builds."""
+    layout = tuple(
+        (r.name, r.size, r.domain == data_domain, r.domain) for r in regions
+    )
+    shared_k = None
+    if getattr(flow, "turns", None) is not None and getattr(flow, "flows", None):
+        shared_k = len(flow.flows)
+    trigger = getattr(flow, "trigger_packets", None)
+    return StreamMeta(
+        layout,
+        getattr(flow, "name", flow.__class__.__name__),
+        float(getattr(flow, "measure_weight", 1.0)),
+        shared_k,
+        trigger if isinstance(trigger, int) else None,
+        hasattr(flow, "dropped"),
+    )
+
+
+class _ReplayDomain:
+    """One domain's view of a :class:`_ReplaySpace`."""
+
+    def __init__(self, space: "_ReplaySpace", domain: int):
+        self._space = space
+        self._domain = domain
+
+    @property
+    def regions(self):
+        return self._space.queue(self._domain)
+
+    def alloc(self, size: int, name: str):
+        return self._space.take(self._domain, size, name)
+
+
+class _ReplaySpace:
+    """An AddressSpace look-alike serving a flow's recorded regions.
+
+    Used when a :class:`StubFlow` must materialize its real flow: the
+    regions were already bump-allocated (by the skeleton build) at the
+    exact addresses construction would have produced, so the factory's
+    allocation calls are satisfied from the recorded list — asserting
+    that name, rounded size, and domain match what was recorded.
+    """
+
+    def __init__(self, regions):
+        self._queues: Dict[int, List] = {}
+        for region in regions:
+            self._queues.setdefault(region.domain, []).append(region)
+        self._cursors: Dict[int, int] = {d: 0 for d in self._queues}
+
+    def queue(self, d: int) -> List:
+        return self._queues.get(d, [])
+
+    def domain(self, d: int) -> _ReplayDomain:
+        return _ReplayDomain(self, d)
+
+    def alloc(self, size: int, name: str, domain: int = 0):
+        return self.take(domain, size, name)
+
+    def take(self, d: int, size: int, name: str):
+        from ..constants import CACHE_LINE
+
+        rounded = (size + CACHE_LINE - 1) & ~(CACHE_LINE - 1)
+        queue = self._queues.get(d, [])
+        cursor = self._cursors.get(d, 0)
+        if cursor >= len(queue):
+            raise RuntimeError(
+                f"skeleton materialization: factory allocated more regions "
+                f"in domain {d} than were recorded (wanted {name!r})"
+            )
+        region = queue[cursor]
+        if region.size != rounded or region.name != name:
+            raise RuntimeError(
+                "skeleton materialization: allocation mismatch "
+                f"(recorded {region.name!r}/{region.size}B, factory asked "
+                f"{name!r}/{rounded}B) — the factory is not deterministic "
+                "for its stream signature"
+            )
+        self._cursors[d] = cursor + 1
+        return region
+
+
+class StubFlow:
+    """Construction-free stand-in for a flow with a fully cached stream.
+
+    In dense sweeps, flow *construction* (radix tries, rule tables,
+    automata) costs as much as the replayed run once streams come from
+    the cache. When :meth:`Machine.add_flow` runs under the ambient
+    batch engine and the stream cache holds both the factory's stream
+    and its :class:`StreamMeta`, it bump-allocates the recorded region
+    layout (byte-identical to what construction would have produced)
+    and installs this stub instead of calling the factory.
+
+    The real flow is built lazily via :meth:`materialize` — same
+    factory, same derived RNG, allocations served back from the
+    recorded regions — when the cached stream runs dry mid-run, when
+    the machine is explicitly run with the scalar engine, or when any
+    code touches an attribute the stub does not carry. An attribute
+    touch also sets ``touched``: outside code may have mutated the flow,
+    so the batch engine then runs it live instead of trusting the cache.
+    """
+
+    timing_pure = True
+    #: Machine.add_flow probes this generically; the stub has no run
+    #: state to bind (materialize() forwards the hook to the real flow).
+    attach_run = None
+
+    _OWN = frozenset({
+        "_factory", "_meta", "_regions", "_seed", "_core", "_domain",
+        "_spec", "_attach", "_flow", "_patched", "_absent", "touched",
+        "name", "measure_weight", "stream_signature", "dropped", "turns",
+        "_next", "packets", "triggered", "trigger_packets",
+    })
+
+    def __init__(self, factory, meta: StreamMeta, signature, regions,
+                 seed: int, core: int, domain: int, spec):
+        self._factory = factory
+        self._meta = meta
+        self._regions = list(regions)
+        self._seed = seed
+        self._core = core
+        self._domain = domain
+        self._spec = spec
+        self._attach = None
+        self._flow = None
+        self._patched = False
+        self.touched = False
+        self.name = meta.flow_name
+        self.measure_weight = meta.measure_weight
+        self.stream_signature = signature
+        # Mirror the real flow's attribute surface: state attrs it has
+        # get live shadows; ones it lacks raise AttributeError without
+        # materializing (so hasattr probes stay cheap and faithful).
+        absent = set()
+        if meta.has_dropped:
+            self.dropped = 0
+        else:
+            absent.add("dropped")
+        if meta.shared_k:
+            self.turns = [0] * meta.shared_k
+            self._next = 0
+        else:
+            absent.update(("turns", "_next"))
+        if meta.trigger_packets is not None:
+            self.trigger_packets = meta.trigger_packets
+            self.packets = 0
+            self.triggered = False
+        else:
+            absent.update(("packets", "triggered", "trigger_packets"))
+        self._absent = frozenset(absent)
+
+    def materialize(self):
+        """Build (once) and return the real flow this stub stands for."""
+        flow = self._flow
+        if flow is None:
+            import random
+
+            from ..hw.machine import FlowEnv
+
+            rng = random.Random(
+                (self._seed * 1_000_003 + self._core * 7919) & 0xFFFFFFFF)
+            env = FlowEnv(space=_ReplaySpace(self._regions),
+                          domain=self._domain, spec=self._spec, rng=rng)
+            flow = self._factory(env)
+            object.__setattr__(self, "_flow", flow)
+            if self._attach is not None:
+                self._attach(flow)
+            if not self._patched:
+                # Before run-state patching the live flow owns the
+                # engine-visible state; drop the stub's shadows so reads
+                # delegate. After patching the shadows *are* the state.
+                for attr in ("dropped", "turns", "_next", "packets",
+                             "triggered"):
+                    try:
+                        object.__delattr__(self, attr)
+                    except AttributeError:
+                        pass
+        return flow
+
+    def __getattr__(self, name):
+        if name.startswith("__") and name.endswith("__"):
+            raise AttributeError(name)
+        if name in self.__dict__.get("_absent", ()):
+            raise AttributeError(name)
+        flow = self.materialize()
+        object.__setattr__(self, "touched", True)
+        return getattr(flow, name)
+
+    def __setattr__(self, name, value):
+        if name in self._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            flow = self.materialize()
+            object.__setattr__(self, "touched", True)
+            setattr(flow, name, value)
+
+    def __repr__(self):
+        state = "materialized" if self._flow is not None else "skeleton"
+        return f"<StubFlow {self.name!r} ({state})>"
+
+
+class CachedStream:
+    """All blocks generated so far for one (signature, seed, core, spec)."""
+
+    def __init__(self, fingerprint: Tuple):
+        self.fingerprint = fingerprint
+        self.blocks: List[_RelativeBlock] = []
+        self.n_packets = 0
+        self.n_refs = 0
+        #: Construction metadata enabling skeleton (construction-free)
+        #: flow builds; set on the first successful block store.
+        self.meta: Optional[StreamMeta] = None
+        #: True once a generation pass ended without storing (e.g. a
+        #: region-external line was seen); further stores are refused so
+        #: the cache never serves a stream with holes.
+        self.poisoned = False
+
+    def append(self, rel: _RelativeBlock) -> None:
+        self.blocks.append(rel)
+        self.n_packets += rel.n_packets
+        self.n_refs += rel.n_refs
+
+    def block_at(self, packet_index: int) -> Optional[_RelativeBlock]:
+        """The cached block starting exactly at ``packet_index``."""
+        # Blocks are appended in order and all but the last have
+        # BATCH_PACKETS packets, so direct indexing suffices.
+        for rel in self.blocks:
+            if rel.start == packet_index:
+                return rel
+            if rel.start > packet_index:
+                break
+        return None
+
+
+class StreamCache:
+    """Process-wide LRU cache of region-relative packet streams."""
+
+    def __init__(self, max_refs: int = DEFAULT_CACHE_REFS):
+        self.max_refs = max_refs
+        self._streams: Dict[Tuple, CachedStream] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    @property
+    def total_refs(self) -> int:
+        return sum(s.n_refs for s in self._streams.values())
+
+    def clear(self) -> None:
+        self._streams.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Tuple, fingerprint: Tuple) -> Optional[CachedStream]:
+        stream = self._streams.get(key)
+        if stream is None:
+            self.misses += 1
+            return None
+        if stream.fingerprint != fingerprint:
+            # Same signature but different allocation shape: treat as a
+            # miss and drop the stale entry (defensive; signatures are
+            # supposed to pin the shape).
+            del self._streams[key]
+            self.misses += 1
+            return None
+        # LRU touch: move to the end of the (insertion-ordered) dict.
+        del self._streams[key]
+        self._streams[key] = stream
+        self.hits += 1
+        return stream
+
+    def stream_for(self, key: Tuple, fingerprint: Tuple) -> CachedStream:
+        """The stream to append generated blocks to (created on demand)."""
+        stream = self._streams.get(key)
+        if stream is None or stream.fingerprint != fingerprint:
+            stream = CachedStream(fingerprint)
+            self._streams[key] = stream
+        return stream
+
+    def skeleton_meta(self, key: Tuple) -> Optional[StreamMeta]:
+        """Construction metadata for ``key`` if a usable stream is cached.
+
+        Non-None means :meth:`Machine.add_flow` may skip construction and
+        install a :class:`StubFlow` over the recorded region layout.
+        """
+        stream = self._streams.get(key)
+        if stream is None or stream.poisoned or stream.n_packets == 0:
+            return None
+        return stream.meta
+
+    def evict_to_capacity(self) -> None:
+        while self.total_refs > self.max_refs and len(self._streams) > 1:
+            oldest = next(iter(self._streams))
+            del self._streams[oldest]
+
+
+#: The process-wide cache instance (cleared via repro.fastpath).
+STREAM_CACHE = StreamCache()
+
+
+def key_for_signature(sig, seed: int, core: int, spec) -> Tuple:
+    """The cache key pinning a signatured stream (see :func:`stream_key`)."""
+    return (sig, seed, core, dataclasses.astuple(spec))
+
+
+def stream_key(flow, seed: int, core: int, spec) -> Optional[Tuple]:
+    """Cache key for a flow's stream, or None when uncacheable.
+
+    The per-flow RNG is derived from (machine seed, core) and the flow's
+    construction consumes it deterministically, so (signature, seed,
+    core, spec) pins the entire generated stream. The data domain is
+    *not* part of the key: it only shifts absolute addresses, which the
+    region-relative encoding removes.
+    """
+    sig = stream_signature(flow)
+    if sig is None:
+        return None
+    return key_for_signature(sig, seed, core, spec)
+
+
+class StreamSupplier:
+    """Feeds PacketBlocks for one flow-run: cached replay or generation.
+
+    The supplier serves blocks strictly in order. On a cache hit it
+    rebases stored blocks; when the cache runs out mid-run it *catches
+    up* the (still fresh, never-run) flow instance by generating and
+    discarding the already-replayed prefix, then continues live —
+    exactly what the scalar engine would have paid for the whole run.
+    """
+
+    def __init__(self, fr, seed: int, spec, l1_nsets: int, l2_nsets: int,
+                 l3_nsets: int, domain_shift: int,
+                 batch: int = BATCH_PACKETS, cache: StreamCache = None,
+                 cacheable: bool = True):
+        self.fr = fr
+        self.flow = fr.flow
+        self.batch = batch
+        self.cache = cache if cache is not None else STREAM_CACHE
+        self._geom = (l1_nsets, l2_nsets, l3_nsets, domain_shift)
+        self._next_packet = 0
+        self._generated = 0        # packets actually produced by the flow
+        self._dropped_base = int(getattr(self.flow, "dropped", 0) or 0)
+        self._regions = RegionTable(getattr(fr, "regions", []) or [])
+        self.key = (stream_key(self.flow, seed, fr.core, spec)
+                    if cacheable else None)
+        self._cached: Optional[CachedStream] = None
+        self.from_cache = False
+        if self.key is not None and self._regions.regions:
+            stream = self.cache.lookup(self.key, self._regions.fingerprint())
+            if stream is not None and stream.n_packets > 0:
+                self._cached = stream
+                self.from_cache = True
+        # AccessContext for generation, private to the supplier (the
+        # engine never reads fr.ctx for pregenerated flows).
+        from ..mem.access import AccessContext
+
+        self._ctx = AccessContext()
+
+    # -- generation ------------------------------------------------------
+
+    def _materialize(self):
+        """Ensure self.flow is a real (non-stub) flow before generating."""
+        flow = self.flow
+        if isinstance(flow, StubFlow):
+            flow = flow.materialize()
+            self.flow = flow
+            self.fr.flow = flow
+        return flow
+
+    def _generate_block(self, start: int) -> PacketBlock:
+        """Run the flow ``batch`` times, recording a flattened block."""
+        ctx = self._ctx
+        flow = self._materialize()
+        gaps: List[int] = []
+        lines: List[int] = []
+        tags: List[int] = []
+        bounds = [0]
+        trailing: List[int] = []
+        instr: List[int] = []
+        idle: List[bool] = []
+        dma: List[Optional[Tuple[int, ...]]] = []
+        dropped: List[int] = []
+        for _ in range(self.batch):
+            ctx.reset()
+            lines_dma = flow.run_packet(ctx)
+            ctx.finish_packet()
+            prog = ctx.program
+            if not prog and ctx.trailing_gap <= 0:
+                raise RuntimeError(
+                    f"flow {getattr(flow, 'name', flow)!r} produced an "
+                    "empty, zero-time packet"
+                )
+            gaps.extend(prog[0::3])
+            lines.extend(prog[1::3])
+            tags.extend(prog[2::3])
+            bounds.append(len(lines))
+            trailing.append(ctx.trailing_gap)
+            instr.append(ctx.instructions)
+            idle.append(ctx.is_idle)
+            dma.append(tuple(lines_dma) if lines_dma else None)
+            dropped.append(int(getattr(flow, "dropped", 0) or 0))
+            self._generated += 1
+        block = PacketBlock(start, self.batch, gaps, lines, tags, bounds,
+                            trailing, instr, idle, dma, dropped)
+        block.finalize(*self._geom)
+        return block
+
+    def _store(self, block: PacketBlock) -> None:
+        if self.key is None or not self._regions.regions:
+            return
+        stream = self.cache.stream_for(self.key, self._regions.fingerprint())
+        if stream.poisoned:
+            return
+        if stream.n_packets != block.start:
+            # Out-of-order store (a previous run cached a longer or
+            # shorter prefix): only extend contiguously.
+            if stream.n_packets > block.start:
+                return
+            stream.poisoned = True
+            return
+        rel = _RelativeBlock(block, self._regions)
+        if len(rel.ridx) and bool(np.any(rel.ridx < 0)):
+            # The flow touched a line outside its own regions: not
+            # rebasable, so never serve this stream to other machines.
+            stream.poisoned = True
+            return
+        if len(rel.dma_ridx) and bool(np.any(rel.dma_ridx < 0)):
+            stream.poisoned = True
+            return
+        stream.append(rel)
+        if stream.meta is None:
+            stream.meta = build_meta(self.flow, self._regions.regions,
+                                     self.fr.data_domain)
+        self.cache.evict_to_capacity()
+
+    def _catch_up(self, upto: int) -> None:
+        """Fast-forward the fresh flow past ``upto`` replayed packets."""
+        ctx = self._ctx
+        flow = self._materialize()
+        while self._generated < upto:
+            ctx.reset()
+            flow.run_packet(ctx)
+            ctx.finish_packet()
+            self._generated += 1
+
+    # -- the engine-facing API -------------------------------------------
+
+    def next_block(self) -> PacketBlock:
+        """The next block of packets (cached replay or live generation)."""
+        start = self._next_packet
+        if self._cached is not None:
+            rel = self._cached.block_at(start)
+            if rel is not None:
+                block = rel.rebase(self._regions)
+                block.finalize(*self._geom)
+                self._next_packet = start + block.n_packets
+                return block
+            # Cache exhausted: catch the fresh flow instance up to the
+            # replayed prefix, then continue generating (and extending
+            # the cache) from there.
+            self._catch_up(start)
+            self._cached = None
+        block = self._generate_block(start)
+        self._store(block)
+        self._next_packet = start + block.n_packets
+        return block
+
+    def patch_flow_state(self, consumed_packets: int, dropped_cum: int) -> None:
+        """Pin engine-visible flow state to the *consumed* packet count.
+
+        Pregeneration always runs the functional layer in 256-packet
+        blocks, so at the end of a run the flow may have generated ahead
+        of what the engine consumed (and under cached replay it never
+        generated at all). ``dropped`` is part of the documented flow
+        protocol (experiment code reads ``Pipeline.dropped`` after a
+        run), so it is reset to the value the scalar engine would have
+        left: the cumulative count at the last consumed packet.
+        Round-robin bookkeeping of a shared-core flow and the trigger
+        state of a two-faced flow are recomputed the same way; deeper
+        app-internal diagnostic state (element hit counters, RNG
+        position) is documented as unspecified under the batch engine.
+        """
+        flow = self.flow
+        if isinstance(flow, StubFlow):
+            # Never-materialized skeleton: write the engine-visible state
+            # directly onto the stub (attribute probes on a stub would
+            # materialize the real flow, which is exactly what skipping
+            # construction avoids).
+            flow._patched = True
+            meta = flow._meta
+            if meta.has_dropped:
+                flow.dropped = self._dropped_base + dropped_cum
+            if meta.shared_k:
+                k = meta.shared_k
+                flow.turns = [(consumed_packets - m + k - 1) // k
+                              for m in range(k)]
+                flow._next = consumed_packets % k
+            if meta.trigger_packets is not None:
+                flow.packets = consumed_packets
+                flow.triggered = consumed_packets > meta.trigger_packets
+            return
+        if hasattr(flow, "dropped"):
+            flow.dropped = self._dropped_base + dropped_cum
+        if getattr(flow, "turns", None) is not None \
+                and getattr(flow, "flows", None):
+            k = len(flow.flows)
+            for m in range(k):
+                flow.turns[m] = (consumed_packets - m + k - 1) // k
+            flow._next = consumed_packets % k
+        if hasattr(flow, "trigger_packets") and hasattr(flow, "packets"):
+            flow.packets = consumed_packets
+            flow.triggered = consumed_packets > flow.trigger_packets

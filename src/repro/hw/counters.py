@@ -16,15 +16,22 @@ from ..mem.access import TAGS
 from ..units import per_second
 
 
+#: The scalar (non-tag) counter slots, shared by every lifecycle
+#: operation below. Tag arrays are handled separately because the tag
+#: registry can grow mid-run (Figure 7 elements register their function
+#: tags lazily) — every operation must call ``_grow_tags`` first or it
+#: hands short arrays to downstream consumers.
+SCALAR_FIELDS = (
+    "cycles", "instructions", "packets",
+    "l1_hits", "l2_hits", "l3_refs", "l3_hits", "l3_misses",
+    "remote_refs", "mc_wait_cycles", "gap_cycles",
+)
+
+
 class CoreCounters:
     """Raw event counts for one core. Monotonic within a run."""
 
-    __slots__ = (
-        "cycles", "instructions", "packets",
-        "l1_hits", "l2_hits", "l3_refs", "l3_hits", "l3_misses",
-        "remote_refs", "mc_wait_cycles", "gap_cycles",
-        "tag_refs", "tag_hits",
-    )
+    __slots__ = SCALAR_FIELDS + ("tag_refs", "tag_hits")
 
     def __init__(self) -> None:
         self.cycles = 0.0
@@ -59,9 +66,7 @@ class CoreCounters:
         """
         self._grow_tags()
         snap = CoreCounters.__new__(CoreCounters)
-        for field in ("cycles", "instructions", "packets", "l1_hits", "l2_hits",
-                      "l3_refs", "l3_hits", "l3_misses", "remote_refs",
-                      "mc_wait_cycles", "gap_cycles"):
+        for field in SCALAR_FIELDS:
             setattr(snap, field, getattr(self, field))
         snap.tag_refs = list(self.tag_refs)
         snap.tag_hits = list(self.tag_hits)
@@ -69,25 +74,59 @@ class CoreCounters:
 
     def as_dict(self) -> Dict[str, float]:
         """The scalar counters as plain data (observability serializers)."""
-        return {
-            field: getattr(self, field)
-            for field in ("cycles", "instructions", "packets", "l1_hits",
-                          "l2_hits", "l3_refs", "l3_hits", "l3_misses",
-                          "remote_refs", "mc_wait_cycles", "gap_cycles")
-        }
+        return {field: getattr(self, field) for field in SCALAR_FIELDS}
 
     def delta(self, earlier: "CoreCounters") -> "CoreCounters":
         """Counts accumulated since the ``earlier`` snapshot."""
         self._grow_tags()
         earlier._grow_tags()
         out = CoreCounters.__new__(CoreCounters)
-        for field in ("cycles", "instructions", "packets", "l1_hits", "l2_hits",
-                      "l3_refs", "l3_hits", "l3_misses", "remote_refs",
-                      "mc_wait_cycles", "gap_cycles"):
+        for field in SCALAR_FIELDS:
             setattr(out, field, getattr(self, field) - getattr(earlier, field))
         out.tag_refs = [a - b for a, b in zip(self.tag_refs, earlier.tag_refs)]
         out.tag_hits = [a - b for a, b in zip(self.tag_hits, earlier.tag_hits)]
         return out
+
+    def merge(self, other: "CoreCounters") -> "CoreCounters":
+        """Accumulate ``other`` into this counter set, in place.
+
+        Used to aggregate per-core counters (e.g. a pipeline's stages or
+        a socket total). Both sides grow their tag arrays first so a
+        counter snapshotted before a late tag registration merges
+        cleanly with one taken after.
+        """
+        self._grow_tags()
+        other._grow_tags()
+        for field in SCALAR_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        for i, v in enumerate(other.tag_refs):
+            self.tag_refs[i] += v
+        for i, v in enumerate(other.tag_hits):
+            self.tag_hits[i] += v
+        return self
+
+    def reset(self) -> None:
+        """Zero every counter in place.
+
+        The tag arrays are cleared by slice assignment, *not* rebound:
+        both engines cache ``counters.tag_refs`` in hot locals, so a
+        reset that replaced the lists would silently disconnect those
+        aliases and drop every subsequent tag count.
+        """
+        self._grow_tags()
+        self.cycles = 0.0
+        self.instructions = 0
+        self.packets = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.l3_refs = 0
+        self.l3_hits = 0
+        self.l3_misses = 0
+        self.remote_refs = 0
+        self.mc_wait_cycles = 0.0
+        self.gap_cycles = 0.0
+        self.tag_refs[:] = [0] * len(self.tag_refs)
+        self.tag_hits[:] = [0] * len(self.tag_hits)
 
 
 class FlowStats:

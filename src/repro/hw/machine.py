@@ -56,7 +56,7 @@ class FlowRun:
         "index", "label", "flow", "core", "socket", "data_domain", "measured",
         "ctx", "prog", "pc", "prog_len", "clock", "counters",
         "warmup_target", "measure_target", "snap_start", "snap_end", "done",
-        "latencies", "packet_start",
+        "latencies", "packet_start", "regions",
     )
 
     def __init__(self, index: int, label: str, flow, core: int, socket: int,
@@ -83,6 +83,10 @@ class FlowRun:
         #: window; populated only when the machine records latencies.
         self.latencies: Optional[List[float]] = None
         self.packet_start = 0.0
+        #: Regions this flow allocated during construction (captured by
+        #: ``add_flow``); the batch engine's stream cache re-expresses
+        #: cached access streams relative to these.
+        self.regions: List = []
 
 
 class RunResult:
@@ -206,15 +210,57 @@ class Machine:
             data_domain = socket
         if not 0 <= data_domain < self.spec.n_sockets:
             raise ValueError(f"no such NUMA domain: {data_domain}")
-        rng = random.Random((self.seed * 1_000_003 + core * 7919) & 0xFFFFFFFF)
-        env = FlowEnv(space=self.space, domain=data_domain, spec=self.spec, rng=rng)
-        flow = factory(env)
+        flow = None
+        regions = None
+        # Skeleton fast path: under the ambient batch engine, a factory
+        # that declares its stream signature and whose stream (plus
+        # construction metadata) is already cached gets a construction-free
+        # StubFlow over the recorded region layout — the replay engine
+        # never needs the real flow object (see repro.fastpath.streams).
+        factory_sig = getattr(factory, "stream_signature", None)
+        if factory_sig is not None and not self.tracer.active:
+            from ..fastpath import default_engine
+
+            if default_engine() == "batch":
+                from ..fastpath import streams as _fastpath
+
+                key = _fastpath.key_for_signature(
+                    factory_sig, self.seed, core, self.spec)
+                meta = _fastpath.STREAM_CACHE.skeleton_meta(key)
+                if meta is not None:
+                    regions = [
+                        self.space.alloc(
+                            size, rname,
+                            data_domain if is_data_rel else abs_dom)
+                        for rname, size, is_data_rel, abs_dom in meta.layout
+                    ]
+                    flow = _fastpath.StubFlow(
+                        factory, meta, factory_sig, regions,
+                        self.seed, core, data_domain, self.spec)
+        if flow is None:
+            rng = random.Random(
+                (self.seed * 1_000_003 + core * 7919) & 0xFFFFFFFF)
+            env = FlowEnv(space=self.space, domain=data_domain,
+                          spec=self.spec, rng=rng)
+            # Snapshot allocation marks so the regions this factory
+            # allocates can be attributed to the flow (the batch engine's
+            # stream cache needs them to re-express streams in
+            # region-relative form).
+            marks = {
+                d: len(self.space.domain(d).regions)
+                for d in range(self.spec.n_sockets)
+            }
+            flow = factory(env)
+            regions = []
+            for d in range(self.spec.n_sockets):
+                regions.extend(self.space.domain(d).regions[marks[d]:])
         name = getattr(flow, "name", flow.__class__.__name__)
         if label is None:
             label = f"{name}@{core}"
         if any(fr.label == label for fr in self.flows):
             raise ValueError(f"duplicate flow label {label!r}")
         fr = FlowRun(len(self.flows), label, flow, core, socket, data_domain, measured)
+        fr.regions = regions
         self.flows.append(fr)
         self._cores_used[core] = label
         self._l1[core] = SetAssociativeCache(
@@ -226,6 +272,14 @@ class Machine:
         attach = getattr(flow, "attach_run", None)
         if attach is not None:
             attach(self, fr)
+        elif type(flow).__name__ == "StubFlow":
+            # Forward the attach hook when/if the stub materializes.
+            def _attach_real(real, machine=self, flow_run=fr):
+                hook = getattr(real, "attach_run", None)
+                if hook is not None:
+                    hook(machine, flow_run)
+
+            flow._attach = _attach_real
         return fr
 
     def invalidate_private(self, lines, core: int) -> None:
@@ -245,13 +299,45 @@ class Machine:
     # -- execution -----------------------------------------------------------
 
     def run(self, warmup_packets: int = 200, measure_packets: int = 1000,
-            max_events: int = MAX_EVENTS) -> RunResult:
+            max_events: int = MAX_EVENTS,
+            engine: Optional[str] = None) -> RunResult:
         """Run until every measured flow completes its measurement window.
 
         Per-flow packet targets are scaled by the flow's ``measure_weight``
         attribute (slow flows like FW measure fewer packets so that mixed
         runs finish in comparable simulated time; rates are unaffected).
+
+        ``engine`` selects the execution engine: ``"scalar"`` (the
+        reference event loop below), ``"batch"`` (the pregenerating
+        engine in :mod:`repro.fastpath`, identical results, faster), or
+        None to use the ambient default set via
+        :func:`repro.fastpath.use_engine` / ``set_default_engine``.
         """
+        if engine is None:
+            from ..fastpath import default_engine
+
+            engine = default_engine()
+        if engine == "batch":
+            from ..fastpath.engine import run_batch
+
+            return run_batch(self, warmup_packets, measure_packets, max_events)
+        if engine != "scalar":
+            raise ValueError(
+                f"unknown engine {engine!r} (choose 'scalar' or 'batch')"
+            )
+        # A machine built under the ambient batch engine may hold
+        # construction-skipped StubFlows; the scalar loop needs the real
+        # flow objects. (Stubs can only exist if fastpath.streams was
+        # imported, so probing sys.modules avoids pulling numpy into
+        # scalar-only processes.)
+        import sys
+
+        _fastpath = sys.modules.get(
+            __name__.split(".")[0] + ".fastpath.streams")
+        if _fastpath is not None:
+            for fr in self.flows:
+                if isinstance(fr.flow, _fastpath.StubFlow):
+                    fr.flow = fr.flow.materialize()
         if self._ran:
             raise RuntimeError("machine already ran; build a fresh Machine")
         if not self.flows:

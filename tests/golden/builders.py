@@ -1,0 +1,114 @@
+"""Deterministic builders for the golden regression reports.
+
+One seed-pinned, small-scale configuration drives fig2/fig5/fig8; the
+resulting :class:`~repro.obs.report.RunReport` JSON documents are
+committed next to this module and asserted byte-stable (modulo
+timestamp-like keys) by ``test_golden.py``. Regenerate deliberately
+with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+The builders share one fig2 run (profiles + SYN sweeps) exactly the way
+``benchmarks/record.py`` memoizes prerequisites, so a regen costs a few
+seconds, not a full paper reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.prediction import ContentionPredictor, sweep_sensitivity
+from repro.core.profiler import profile_apps
+from repro.experiments import fig2, fig5, fig8
+from repro.experiments.common import ExperimentConfig
+from repro.obs.recorder import _jsonable
+from repro.obs.report import RunReport
+
+#: Three apps span the interesting contention range (IP sensitive,
+#: MON aggressive, FW cheap) while keeping the regen to seconds.
+GOLDEN_APPS = ("IP", "MON", "FW")
+
+GOLDEN_CONFIG = ExperimentConfig(
+    scale=64, seed=20120425,
+    solo_warmup=200, solo_measure=300,
+    corun_warmup=120, corun_measure=200,
+)
+
+GOLDEN_NAMES = ("fig2", "fig5", "fig8")
+
+#: Keys that may legitimately differ between regenerations.
+VOLATILE_KEYS = frozenset(
+    {"timestamp", "generated_at", "seconds", "elapsed", "wall_seconds"})
+
+
+def _report(kind: str, results: dict) -> RunReport:
+    report = RunReport.new(kind, spec=GOLDEN_CONFIG.socket_spec(),
+                           config=GOLDEN_CONFIG,
+                           command="tests/golden/regen.py")
+    report.results.update(_jsonable(results))
+    return report
+
+
+def build_reports() -> Dict[str, str]:
+    """name -> RunReport JSON text for every golden figure."""
+    config = GOLDEN_CONFIG
+    spec = config.socket_spec()
+    profiles = profile_apps(GOLDEN_APPS, spec, seed=config.seed,
+                            warmup_packets=config.solo_warmup,
+                            measure_packets=config.solo_measure)
+    f2 = fig2.run(config, apps=GOLDEN_APPS, profiles=profiles)
+    curves = {
+        app: sweep_sensitivity(app, spec, seed=config.seed,
+                               warmup_packets=config.corun_warmup,
+                               measure_packets=config.corun_measure,
+                               solo=profiles[app])
+        for app in GOLDEN_APPS
+    }
+    f5 = fig5.run(config, apps=GOLDEN_APPS, fig2_result=f2, curves=curves)
+    predictor = ContentionPredictor(profiles=profiles, curves=curves)
+    f8 = fig8.run(config, apps=GOLDEN_APPS, fig2_result=f2,
+                  predictor=predictor)
+
+    reports = {
+        "fig2": _report("golden-fig2", {
+            "drops": f2.drops,
+            "averages": f2.averages(),
+            "max_drop": f2.max_drop(),
+            "most_sensitive": f2.most_sensitive(),
+            "most_aggressive": f2.most_aggressive(),
+        }),
+        "fig5": _report("golden-fig5", {
+            "curves": {t: c.points for t, c in f5.curves.items()},
+            "realistic_points": f5.realistic_points,
+            "deviations": {t: f5.deviation(t) for t in f5.curves},
+        }),
+        "fig8": _report("golden-fig8", {
+            "entries": f8.entries,
+            "average_abs_error": {
+                t: f8.average_abs_error(t) for t in f8.apps},
+            "average_abs_error_perfect": {
+                t: f8.average_abs_error(t, perfect=True) for t in f8.apps},
+            "worst_abs_error": f8.worst_abs_error(),
+        }),
+    }
+    return {name: reports[name].to_json() + "\n" for name in GOLDEN_NAMES}
+
+
+def normalize(text: str) -> str:
+    """Canonical comparison form: parse, drop volatile keys, re-dump.
+
+    The committed goldens carry no timestamps today, but the test
+    compares through this filter so adding wall-clock metadata to
+    RunReport later does not break byte-stability.
+    """
+    import json
+
+    def scrub(obj):
+        if isinstance(obj, dict):
+            return {k: scrub(v) for k, v in obj.items()
+                    if k not in VOLATILE_KEYS}
+        if isinstance(obj, list):
+            return [scrub(v) for v in obj]
+        return obj
+
+    return json.dumps(scrub(json.loads(text)), indent=2, sort_keys=True)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden reports.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Rewrites ``tests/golden/golden_<name>.json`` for every golden figure.
+Only run this when a change *intends* to move the paper's numbers; the
+diff of the regenerated files is the review artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+try:
+    from . import builders
+except ImportError:  # executed as a script, not a package module
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import builders  # type: ignore[no-redef]
+
+
+def main() -> int:
+    out_dir = os.path.dirname(os.path.abspath(__file__))
+    for name, text in builders.build_reports().items():
+        path = os.path.join(out_dir, f"golden_{name}.json")
+        with open(path, "w") as fh:
+            fh.write(text)
+        print(f"wrote {path} ({len(text)} bytes)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Golden regression tests: seed-pinned figure reports must not drift.
+
+The committed ``golden_<name>.json`` files are RunReport documents for
+fig2/fig5/fig8 at a pinned small configuration. Any engine or model
+change that shifts the paper's curves — even in the last float digit —
+fails here and forces a deliberate regen (``tests/golden/regen.py``)
+whose diff is reviewed like any other code change.
+
+The batch engine is held to the same goldens: it must land on the
+byte-identical reports the scalar oracle produced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.fastpath as fastpath
+
+from . import builders
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"golden_{name}.json")
+
+
+@pytest.fixture(scope="module")
+def fresh_reports():
+    return builders.build_reports()
+
+
+@pytest.fixture(scope="module")
+def fresh_reports_batch():
+    fastpath.clear_stream_cache()
+    with fastpath.use_engine("batch"):
+        return builders.build_reports()
+
+
+def test_goldens_exist_and_parse():
+    for name in builders.GOLDEN_NAMES:
+        path = golden_path(name)
+        assert os.path.exists(path), (
+            f"missing {path}; run PYTHONPATH=src python tests/golden/regen.py")
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["kind"] == f"golden-{name}"
+        assert doc["seed"] == builders.GOLDEN_CONFIG.seed
+        assert doc["scale"] == builders.GOLDEN_CONFIG.scale
+        assert doc["results"], f"{name}: empty results payload"
+
+
+@pytest.mark.parametrize("name", builders.GOLDEN_NAMES)
+def test_report_byte_stable(name, fresh_reports):
+    with open(golden_path(name)) as fh:
+        committed = fh.read()
+    fresh = fresh_reports[name]
+    assert builders.normalize(fresh) == builders.normalize(committed), (
+        f"{name} drifted from its golden; if intentional, regenerate with "
+        f"PYTHONPATH=src python tests/golden/regen.py and review the diff")
+    # Normalization currently strips nothing (no timestamps in RunReport),
+    # so the raw bytes must agree too.
+    assert fresh == committed
+
+
+@pytest.mark.parametrize("name", builders.GOLDEN_NAMES)
+def test_batch_engine_matches_goldens(name, fresh_reports_batch):
+    with open(golden_path(name)) as fh:
+        committed = fh.read()
+    assert builders.normalize(fresh_reports_batch[name]) == \
+        builders.normalize(committed), (
+        f"{name}: batch engine diverged from the scalar-produced golden")

@@ -100,3 +100,145 @@ def test_performance_drop():
     assert performance_drop(100.0, 100.0) == 0.0
     assert performance_drop(0.0, 50.0) == 0.0
     assert performance_drop(100.0, 110.0) == pytest.approx(-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Counter lifecycle vs. mid-run tag registration.
+#
+# The tag registry grows lazily: Figure 7 elements register their
+# function tags on first use, possibly after counters (and snapshots of
+# them) already exist with shorter tag arrays. Every lifecycle op —
+# snapshot (copy), diff (delta), merge, reset — must tolerate a
+# registration landing between any two of them. PR 1 fixed this class
+# of bug in copy(); these tests pin the whole surface.
+# ---------------------------------------------------------------------------
+
+
+def _fresh_tag(label):
+    """Register a unique tag (the registry is global across tests)."""
+    name = f"late_tag_{label}_{len(TAGS)}"
+    return name, TAGS.register(name)
+
+
+def test_copy_before_late_registration_serves_full_arrays():
+    c = CoreCounters()
+    snap = c.copy()
+    _name, tag = _fresh_tag("copy")
+    # A *new* snapshot must cover the late tag without callers invoking
+    # _grow_tags themselves (samplers read tag_refs directly).
+    snap2 = c.copy()
+    assert len(snap2.tag_refs) > tag - 1 and len(snap2.tag_refs) == len(TAGS)
+    # The stale snapshot is healed by delta against the grown counters.
+    c._grow_tags()
+    c.tag_refs[tag] = 3
+    d = c.delta(snap)
+    assert d.tag_refs[tag] == 3
+
+
+def test_delta_with_registration_between_snapshots():
+    c = CoreCounters()
+    start = c.copy()
+    _name, tag = _fresh_tag("delta")
+    c._grow_tags()
+    c.tag_refs[tag] = 5
+    c.tag_hits[tag] = 2
+    end = c.copy()
+    d = end.delta(start)
+    assert d.tag_refs[tag] == 5
+    assert d.tag_hits[tag] == 2
+
+
+def test_merge_scalars_and_tags():
+    a = CoreCounters()
+    b = CoreCounters()
+    a.cycles, b.cycles = 100.0, 50.0
+    a.packets, b.packets = 4, 6
+    a.l3_refs, b.l3_refs = 10, 20
+    _name, tag = _fresh_tag("merge")
+    b._grow_tags()
+    b.tag_refs[tag] = 7
+    out = a.merge(b)
+    assert out is a
+    assert a.cycles == 150.0 and a.packets == 10 and a.l3_refs == 30
+    assert a.tag_refs[tag] == 7
+    # b is untouched.
+    assert b.cycles == 50.0 and b.tag_refs[tag] == 7
+
+
+def test_merge_short_into_long_and_long_into_short():
+    short = CoreCounters()
+    _name, tag = _fresh_tag("asym")
+    long = CoreCounters()
+    long.tag_refs[tag] = 2
+    # Registration happened after `short` was built: both directions
+    # must still line the arrays up.
+    short.copy().merge(long)
+    merged = short.merge(long)
+    assert merged.tag_refs[tag] == 2
+    assert len(merged.tag_refs) == len(TAGS)
+
+
+def test_reset_zeroes_everything_and_keeps_aliases():
+    c = CoreCounters()
+    c.cycles = 9.0
+    c.instructions = 4
+    c.packets = 2
+    c.mc_wait_cycles = 1.5
+    _name, tag = _fresh_tag("reset")
+    c._grow_tags()
+    c.tag_refs[tag] = 8
+    # Both engines hoist the tag lists into locals; reset must mutate
+    # in place so those aliases stay live.
+    alias = c.tag_refs
+    c.reset()
+    assert c.cycles == 0.0 and c.instructions == 0 and c.packets == 2 - 2
+    assert c.mc_wait_cycles == 0.0
+    assert not any(c.tag_refs) and not any(c.tag_hits)
+    assert c.tag_refs is alias
+    alias[tag] += 1
+    assert c.tag_refs[tag] == 1
+
+
+def test_reset_then_late_registration_then_delta():
+    c = CoreCounters()
+    c.reset()
+    snap = c.copy()
+    _name, tag = _fresh_tag("reset_late")
+    c._grow_tags()
+    c.tag_hits[tag] = 4
+    assert c.delta(snap).tag_hits[tag] == 4
+
+
+def test_flow_series_straddling_registration():
+    """Time-series samplers snapshot before *and* after a registration;
+    interval deltas must heal the length mismatch."""
+    from repro.obs.metrics import FlowSeries
+
+    c = CoreCounters()
+    c.cycles = 1000.0
+    c.packets = 1
+    snap0 = c.copy()
+    _name, tag = _fresh_tag("series")
+    c._grow_tags()
+    c.cycles = 3000.0
+    c.packets = 5
+    c.tag_refs[tag] = 6
+    snap1 = c.copy()
+    series = FlowSeries("f", core=0, freq_hz=1e9,
+                        snaps=[(1000.0, snap0), (3000.0, snap1)])
+    totals = series.totals()
+    assert totals.packets == 4
+    assert totals.tag_refs[tag] == 6
+    assert series.points()[0]["packets"] == 4
+
+
+def test_flow_stats_on_stale_snapshot():
+    """FlowStats built over a pre-registration snapshot must still
+    answer per-tag queries about tags registered afterwards."""
+    c = CoreCounters()
+    c.l3_refs = 1
+    stats = FlowStats(c.copy(), freq_hz=1e9)
+    name, _tag = _fresh_tag("stats")
+    assert stats.tag_hit_rate(name) == 0.0
+    assert stats.tag_refs(name) == 0
+    assert name not in stats.tag_breakdown()
