@@ -27,6 +27,19 @@ from repro.experiments.common import ExperimentConfig
 from repro.obs.recorder import BenchRecorder
 
 
+def pytest_configure(config):
+    """Register the repo's marks for standalone ``pytest benchmarks/``
+    invocations (whose rootdir may miss pyproject's registrations), so
+    the suite runs warning-clean either way."""
+    config.addinivalue_line(
+        "markers",
+        "sweep: sharded sweep orchestrator suite "
+        "(determinism + fault injection)")
+    config.addinivalue_line(
+        "markers",
+        "benchmark: paper-figure benchmark (requires pytest-benchmark)")
+
+
 def _make_config() -> ExperimentConfig:
     scale = int(os.environ.get("REPRO_BENCH_SCALE", "8"))
     config = ExperimentConfig(scale=scale)

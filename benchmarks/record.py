@@ -19,6 +19,13 @@ figure on the scalar engine *and* on the batch engine (cold stream
 cache, then warm), verify the payloads are identical, and record the
 speedups alongside the figure data. A payload divergence between
 engines makes the run exit non-zero.
+
+``--jobs N`` records each figure as a sharded :mod:`repro.sweep` run on
+N worker processes; the figure payloads are identical to a serial pass.
+Shard results are cached in memory across figures (or on disk with
+``--cache-dir``), so prerequisites shared between figures — the solo
+profiles, the Figure 2 co-run grid — cost one execution per content
+key, like the serial context's memoization.
 """
 
 from __future__ import annotations
@@ -40,11 +47,43 @@ from repro.obs.recorder import BenchRecorder, _jsonable
 
 
 class _Context:
-    """Memoized shared prerequisites (mirrors the conftest fixtures)."""
+    """Memoized shared prerequisites (mirrors the conftest fixtures).
 
-    def __init__(self, config: ExperimentConfig):
+    With a :class:`~repro.sweep.SweepRunner` attached (``--jobs``),
+    figures run as sharded sweeps instead; the runner's result cache
+    plays the memoization role (shared shards — e.g. the solo profiles
+    every figure needs — cost one execution across all figures), and
+    the merged payloads are identical to the serial path's.
+    """
+
+    def __init__(self, config: ExperimentConfig, runner=None):
         self.config = config
+        self.runner = runner
         self._cache: Dict[str, object] = {}
+
+    def figure(self, name: str):
+        """The figure's result object — sharded when a runner is set."""
+        if self.runner is not None:
+            from repro.sweep import run_figure
+
+            return run_figure(name, self.config, runner=self.runner)
+        return self._serial(name)
+
+    def _serial(self, name: str):
+        if name == "table1":
+            return table1.run(self.config)
+        if name == "fig2":
+            return self.fig2()
+        if name == "fig5":
+            return fig5.run(self.config, fig2_result=self.fig2(),
+                            curves=self.curves())
+        if name == "fig6":
+            return fig6.run(self.config, profiles=self.profiles())
+        if name == "fig9":
+            return fig9.run(self.config, self.predictor())
+        if name == "multiflow":
+            return multiflow.run(self.config)
+        raise KeyError(name)
 
     def profiles(self):
         if "profiles" not in self._cache:
@@ -82,12 +121,12 @@ class _Context:
 
 
 def _record_table1(ctx: _Context) -> dict:
-    result = table1.run(ctx.config)
+    result = ctx.figure("table1")
     return {"profiles": result.profiles}
 
 
 def _record_fig2(ctx: _Context) -> dict:
-    result = ctx.fig2()
+    result = ctx.figure("fig2")
     return {
         "drops": result.drops,
         "averages": result.averages(),
@@ -98,8 +137,7 @@ def _record_fig2(ctx: _Context) -> dict:
 
 
 def _record_fig5(ctx: _Context) -> dict:
-    result = fig5.run(ctx.config, fig2_result=ctx.fig2(),
-                      curves=ctx.curves())
+    result = ctx.figure("fig5")
     return {
         "curves": {t: c.points for t, c in result.curves.items()},
         "realistic_points": result.realistic_points,
@@ -108,12 +146,12 @@ def _record_fig5(ctx: _Context) -> dict:
 
 
 def _record_fig6(ctx: _Context) -> dict:
-    result = fig6.run(ctx.config, profiles=ctx.profiles())
+    result = ctx.figure("fig6")
     return {"curves": result.curves, "app_points": result.app_points}
 
 
 def _record_fig9(ctx: _Context) -> dict:
-    result = fig9.run(ctx.config, ctx.predictor())
+    result = ctx.figure("fig9")
     return {
         "rows": result.rows,
         "mean_abs_error": result.mean_abs_error(),
@@ -122,7 +160,7 @@ def _record_fig9(ctx: _Context) -> dict:
 
 
 def _record_multiflow(ctx: _Context) -> dict:
-    result = multiflow.run(ctx.config)
+    result = ctx.figure("multiflow")
     return {
         "rows": [list(row) for row in result.rows],
         "shortfalls": {label: result.shortfall(label)
@@ -171,7 +209,25 @@ def main(argv=None) -> int:
                              "'batch'/'both' time scalar vs. batch "
                              "(cold+warm stream cache), verify identical "
                              "payloads, and record the speedups")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run each figure as a sharded sweep on N "
+                             "worker processes (payloads identical to "
+                             "--jobs 1; scalar engine only)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="persist sweep shard results under PATH "
+                             "(default: in-memory for the run; entries "
+                             "are keyed by config+seed+engine+code "
+                             "version)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable shard result caching entirely "
+                             "(shared shards recompute per figure)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if (args.jobs > 1 or args.cache_dir) and args.engine != "scalar":
+        parser.error("--jobs/--cache-dir support the scalar engine only "
+                     "(the batch-vs-scalar timing comparison must run "
+                     "unsharded)")
 
     if args.quick:
         config = ExperimentConfig(
@@ -190,8 +246,23 @@ def main(argv=None) -> int:
 
     recorder = BenchRecorder(args.out, config=config)
 
+    runner = None
+    if args.jobs > 1 or args.cache_dir:
+        from repro.sweep import (MemoryCache, ResultCache, SweepOptions,
+                                 SweepRunner)
+
+        if args.no_cache:
+            cache = None
+        elif args.cache_dir:
+            cache = ResultCache(args.cache_dir)
+        else:
+            # In-memory cache: plays _Context's memoization role across
+            # figures (shared solo profiles et al. run once per key).
+            cache = MemoryCache()
+        runner = SweepRunner(SweepOptions(jobs=args.jobs, cache=cache))
+
     if args.engine == "scalar":
-        ctx = _Context(config)
+        ctx = _Context(config, runner=runner)
         for name in names:
             start = time.perf_counter()
             payload = FIGURES[name](ctx)
@@ -202,6 +273,14 @@ def main(argv=None) -> int:
             print(f"[{elapsed:7.2f}s] {name:9s} -> {path}", file=sys.stderr)
         print(f"{len(recorder.written)} record(s) in {args.out}/",
               file=sys.stderr)
+        if runner is not None:
+            stats = runner.execution_stats()
+            print(f"sweep: {stats['shards']} shard(s), "
+                  f"{stats['executed']} executed, "
+                  f"{stats['cache_hits']} cache hit(s), "
+                  f"{stats['retries']} retried, "
+                  f"{stats['quarantined']} quarantined "
+                  f"on {stats['jobs']} job(s)", file=sys.stderr)
         return 0
 
     # batch / both: one scalar reference pass, one cold-cache batch pass,

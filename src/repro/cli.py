@@ -15,6 +15,14 @@ samples per-flow counter time series every US simulated microseconds
 (embedded in the JSON report). ``--engine {scalar,batch}`` selects the
 execution engine — results are identical, the batch engine is faster on
 sweeps (see :mod:`repro.fastpath`).
+
+``--jobs N`` runs the independent simulations of a tool (solo profiles,
+sensitivity-sweep levels, placement co-runs) on N worker processes via
+:mod:`repro.sweep`; results are bit-identical to ``--jobs 1``. Parallel
+runs cache shard results under ``--cache-dir`` (default
+``~/.cache/repro-sweep``, keyed by config + seed + engine + code
+version; ``--no-cache`` disables), and the JSON report records the
+cache/retry counters under its volatile ``execution`` key.
 """
 
 from __future__ import annotations
@@ -82,6 +90,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="execution engine: 'scalar' (reference event "
                              "loop) or 'batch' (pregenerating engine, "
                              "identical results, faster)")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="run independent simulations as N parallel "
+                             "worker processes (results are identical to "
+                             "--jobs 1; default 1)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="sweep result cache directory (default: "
+                             "~/.cache/repro-sweep when sweeping in "
+                             "parallel; entries are keyed by config, "
+                             "seed, engine, and code version)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the sweep result cache")
+
+
+def _sweep_runner(args):
+    """A shared :class:`~repro.sweep.SweepRunner`, or None for the
+    legacy serial path (``--jobs 1`` with no cache directory given)."""
+    if args.jobs == 1 and args.cache_dir is None:
+        return None
+    from .sweep import (ResultCache, SweepOptions, SweepRunner,
+                        default_cache_dir)
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    return SweepRunner(SweepOptions(jobs=args.jobs, engine=args.engine,
+                                    cache=cache))
 
 
 def _config(args) -> ExperimentConfig:
@@ -118,9 +153,11 @@ def _observe(args, parser: argparse.ArgumentParser):
     return _session()
 
 
-def _finish(args, session, report: RunReport) -> None:
+def _finish(args, session, report: RunReport, runner=None) -> None:
     """Common tail: attach time series, emit JSON, announce the trace."""
     report.results.setdefault("engine", args.engine)
+    if runner is not None and runner.stats_history:
+        report.execution["sweep"] = runner.execution_stats()
     if args.metrics_interval is not None:
         report.timeseries.update(session.timeseries_payload())
     if args.json:
@@ -160,10 +197,12 @@ def profile_main(argv: Optional[List[str]] = None) -> int:
     apps = args.apps or list(REALISTIC_APPS)
     config = _config(args)
     spec = config.socket_spec()
+    runner = _sweep_runner(args)
     with _observe(args, parser) as session:
         profiles = profile_apps(apps, spec, seed=config.seed,
                                 warmup_packets=config.solo_warmup,
-                                measure_packets=config.solo_measure)
+                                measure_packets=config.solo_measure,
+                                jobs=args.jobs, runner=runner)
     if args.json:
         report = RunReport.new("profile", spec=spec, config=config,
                                command="repro-profile")
@@ -192,7 +231,7 @@ def profile_main(argv: Optional[List[str]] = None) -> int:
             rows, title=f"Solo profiles (scale 1/{args.scale})",
         ))
         report = RunReport.new("profile", spec=spec, config=config)
-    _finish(args, session, report)
+    _finish(args, session, report, runner)
     return 0
 
 
@@ -216,11 +255,13 @@ def predict_main(argv: Optional[List[str]] = None) -> int:
     types = sorted(set(flows))
     print(f"profiling {', '.join(types)} and sweeping sensitivity curves...",
           file=sys.stderr)
+    runner = _sweep_runner(args)
     with _observe(args, parser) as session:
         predictor = ContentionPredictor.build(
             types, spec, seed=config.seed,
             warmup_packets=config.solo_warmup,
             measure_packets=config.solo_measure,
+            jobs=args.jobs, runner=runner,
         )
         measured = {}
         corun = None
@@ -260,7 +301,7 @@ def predict_main(argv: Optional[List[str]] = None) -> int:
         if args.validate:
             headers.extend(["measured drop", "error"])
         print(format_table(headers, rows, title="Deployment prediction"))
-    _finish(args, session, report)
+    _finish(args, session, report, runner)
     return 0
 
 
@@ -281,14 +322,17 @@ def schedule_main(argv: Optional[List[str]] = None) -> int:
         raise SystemExit(f"need exactly {spec.total_cores} flows")
     types = sorted(set(flows))
     print(f"profiling {', '.join(types)}...", file=sys.stderr)
+    runner = _sweep_runner(args)
     with _observe(args, parser) as session:
         profiles = profile_apps(types, spec, seed=config.seed,
                                 warmup_packets=config.solo_warmup,
-                                measure_packets=config.solo_measure)
+                                measure_packets=config.solo_measure,
+                                jobs=args.jobs, runner=runner)
         study = PlacementStudy(spec, profiles, seed=config.seed,
                                warmup_packets=config.corun_warmup,
                                measure_packets=config.corun_measure)
-        result = study.run(flows, method="simulate")
+        result = study.run(flows, method="simulate",
+                           jobs=args.jobs, runner=runner)
     report = RunReport.new("schedule", spec=spec, config=config,
                            command="repro-schedule")
     report.results["deployment"] = flows
@@ -310,7 +354,7 @@ def schedule_main(argv: Optional[List[str]] = None) -> int:
         ))
         print(f"\nmaximum overall gain from placement: "
               f"{pct(result.scheduling_gain)}")
-    _finish(args, session, report)
+    _finish(args, session, report, runner)
     return 0
 
 
@@ -331,12 +375,14 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     spec = config.socket_spec()
     print(f"profiling {args.app} and sweeping {args.competitors} SYN "
           "competitors...", file=sys.stderr)
+    runner = _sweep_runner(args)
     with _observe(args, parser) as session:
         curve = sweep_sensitivity(
             args.app, spec, seed=config.seed,
             n_competitors=args.competitors,
             warmup_packets=config.solo_warmup,
             measure_packets=config.solo_measure,
+            jobs=args.jobs, runner=runner,
         )
     report = RunReport.new("sweep", spec=spec, config=config,
                            command="repro-sweep")
@@ -355,7 +401,7 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         ))
         print(f"\nturning point (80% of max drop): "
               f"{curve.turning_point() / 1e6:.1f}M refs/s")
-    _finish(args, session, report)
+    _finish(args, session, report, runner)
     return 0
 
 

@@ -86,6 +86,37 @@ class SensitivityCurve:
         return float(refs[-1])
 
 
+def sweep_level(
+    app: str,
+    spec: PlatformSpec,
+    seed: int,
+    level: int,
+    cpu_ops: int,
+    n_competitors: int,
+    warmup_packets: int,
+    measure_packets: int,
+) -> Tuple[float, float]:
+    """One point of a sensitivity sweep: ``(competing refs/sec, target pps)``.
+
+    This is the independently-runnable unit of step 2 — the sweep
+    orchestrator runs one level per shard, and :func:`sweep_sensitivity`
+    calls it serially — so both paths execute identical arithmetic.
+    """
+    machine = Machine(spec, seed=seed + 7 * level)
+    target = machine.add_flow(app_factory(app), core=0, label=app)
+    syn_labels = []
+    for i in range(n_competitors):
+        run = machine.add_flow(
+            syn_factory(cpu_ops_per_ref=cpu_ops), core=1 + i,
+            label=f"SYN{i}",
+        )
+        syn_labels.append(run.label)
+    result = machine.run(warmup_packets=warmup_packets,
+                         measure_packets=measure_packets)
+    competing = sum(result[lbl].l3_refs_per_sec for lbl in syn_labels)
+    return competing, result[target.label].packets_per_sec
+
+
 def sweep_sensitivity(
     app: str,
     spec: PlatformSpec,
@@ -95,38 +126,43 @@ def sweep_sensitivity(
     warmup_packets: int = DEFAULT_WARMUP_PACKETS,
     measure_packets: int = DEFAULT_MEASURE_PACKETS,
     solo: Optional[SoloProfile] = None,
+    jobs: int = 1,
+    runner=None,
 ) -> SensitivityCurve:
     """Step 2 of the method: ramp SYN competitors against ``app``.
 
     Each level co-runs the target with ``n_competitors`` SYN flows on the
     same socket; the x coordinate is the competitors' *measured* combined
-    refs/sec, the y coordinate the target's measured drop.
+    refs/sec, the y coordinate the target's measured drop. ``jobs > 1``
+    (or a :class:`~repro.sweep.SweepRunner` as ``runner``) runs the
+    levels (and the solo profile, when not supplied) as parallel shards
+    via :mod:`repro.sweep`; the curve is identical either way.
     """
     if n_competitors < 1:
         raise ValueError("need at least one competitor")
     if n_competitors >= spec.cores_per_socket:
         raise ValueError("competitors must fit on the target's socket")
+    if jobs > 1 or runner is not None:
+        from ..sweep.parallel import sweep_sensitivity_parallel
+
+        return sweep_sensitivity_parallel(
+            app, spec, seed=seed, cpu_ops_levels=cpu_ops_levels,
+            n_competitors=n_competitors, warmup_packets=warmup_packets,
+            measure_packets=measure_packets, solo=solo, jobs=jobs,
+            runner=runner,
+        )
     if solo is None:
         solo = profile_solo(app, spec, seed=seed,
                             warmup_packets=warmup_packets,
                             measure_packets=measure_packets)
     points: List[Tuple[float, float]] = []
     for level, cpu_ops in enumerate(cpu_ops_levels):
-        machine = Machine(spec, seed=seed + 7 * level)
-        target = machine.add_flow(app_factory(app), core=0, label=app)
-        syn_labels = []
-        for i in range(n_competitors):
-            run = machine.add_flow(
-                syn_factory(cpu_ops_per_ref=cpu_ops), core=1 + i,
-                label=f"SYN{i}",
-            )
-            syn_labels.append(run.label)
-        result = machine.run(warmup_packets=warmup_packets,
-                             measure_packets=measure_packets)
-        competing = sum(result[lbl].l3_refs_per_sec for lbl in syn_labels)
-        drop = performance_drop(solo.throughput,
-                                result[target.label].packets_per_sec)
-        points.append((competing, drop))
+        competing, target_pps = sweep_level(
+            app, spec, seed, level, cpu_ops, n_competitors,
+            warmup_packets, measure_packets,
+        )
+        points.append((competing, performance_drop(solo.throughput,
+                                                   target_pps)))
     return SensitivityCurve(app=app, points=points)
 
 
@@ -145,9 +181,25 @@ class ContentionPredictor:
               n_competitors: int = 5,
               warmup_packets: int = DEFAULT_WARMUP_PACKETS,
               measure_packets: int = DEFAULT_MEASURE_PACKETS,
+              jobs: int = 1,
+              runner=None,
               ) -> "ContentionPredictor":
-        """Run the full offline profiling pass for ``apps``."""
+        """Run the full offline profiling pass for ``apps``.
+
+        ``jobs > 1`` (or a :class:`~repro.sweep.SweepRunner` as
+        ``runner``) shards the pass — every solo profile and every
+        (app, SYN level) co-run is an independent simulation — across a
+        :mod:`repro.sweep` worker pool; results are identical to serial.
+        """
         apps = list(apps)
+        if jobs > 1 or runner is not None:
+            from ..sweep.parallel import build_predictor_parallel
+
+            return build_predictor_parallel(
+                cls, apps, spec, seed=seed, cpu_ops_levels=cpu_ops_levels,
+                n_competitors=n_competitors, warmup_packets=warmup_packets,
+                measure_packets=measure_packets, jobs=jobs, runner=runner,
+            )
         profiles = profile_apps(apps, spec, seed=seed,
                                 warmup_packets=warmup_packets,
                                 measure_packets=measure_packets)

@@ -73,14 +73,26 @@ def profile_apps(apps: Iterable[str], spec: PlatformSpec,
                  seed: int = DEFAULT_SEED,
                  warmup_packets: int = DEFAULT_WARMUP_PACKETS,
                  measure_packets: int = DEFAULT_MEASURE_PACKETS,
-                 repeats: int = 1) -> Dict[str, SoloProfile]:
+                 repeats: int = 1, jobs: int = 1,
+                 runner=None) -> Dict[str, SoloProfile]:
     """Profile several flow types; averages over ``repeats`` seeded runs.
 
     This is how Table 1 is produced ("each number represents an average
     over 5 independent runs"; we default to 1 and let callers choose).
+    ``jobs > 1`` (or a :class:`~repro.sweep.SweepRunner` passed as
+    ``runner``) runs the (app, repeat) grid as parallel shards via
+    :mod:`repro.sweep`; the profiles are identical to a serial pass.
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
+    if jobs > 1 or runner is not None:
+        from ..sweep.parallel import profile_apps_parallel
+
+        return profile_apps_parallel(
+            apps, spec, seed=seed, warmup_packets=warmup_packets,
+            measure_packets=measure_packets, repeats=repeats, jobs=jobs,
+            runner=runner,
+        )
     out: Dict[str, SoloProfile] = {}
     for app in apps:
         profiles = [

@@ -108,8 +108,8 @@ class PlacementStudy:
 
     # -- evaluation ------------------------------------------------------------
 
-    def simulate_split(self, split: Split) -> PlacementOutcome:
-        """Full-machine simulation of one split."""
+    def _placement(self, split: Split) -> List[Tuple[str, int]]:
+        """Core assignment of one split (validated)."""
         placement: List[Tuple[str, int]] = []
         per_socket = self.spec.cores_per_socket
         for socket, group in enumerate(split):
@@ -117,9 +117,10 @@ class PlacementStudy:
                 raise ValueError("split larger than a socket")
             for i, app in enumerate(group):
                 placement.append((app, socket * per_socket + i))
-        corun = run_corun(placement, self.spec, seed=self.seed,
-                          warmup_packets=self.warmup_packets,
-                          measure_packets=self.measure_packets)
+        return placement
+
+    def _outcome(self, split: Split, corun) -> PlacementOutcome:
+        """Drop arithmetic shared by the serial and sharded paths."""
         drops: Dict[str, float] = {}
         for label, app in corun.apps.items():
             drops[label] = performance_drop(
@@ -128,6 +129,33 @@ class PlacementStudy:
         avg = sum(drops.values()) / len(drops)
         return PlacementOutcome(split=split, per_flow_drop=drops,
                                 average_drop=avg)
+
+    def simulate_split(self, split: Split) -> PlacementOutcome:
+        """Full-machine simulation of one split."""
+        corun = run_corun(self._placement(split), self.spec, seed=self.seed,
+                          warmup_packets=self.warmup_packets,
+                          measure_packets=self.measure_packets)
+        return self._outcome(split, corun)
+
+    def _simulate_splits_sharded(self, splits: List[Split], jobs: int,
+                                 runner) -> List[PlacementOutcome]:
+        """Each split's co-run as one sweep shard; outcomes in input order."""
+        from ..sweep.parallel import (_runner, corun_measurement,
+                                      corun_shard)
+
+        shards = [
+            corun_shard(self._placement(split), self.spec, self.seed,
+                        self.warmup_packets, self.measure_packets,
+                        tag="split:" + "|".join(
+                            "+".join(group) for group in split))
+            for split in splits
+        ]
+        outcome = _runner(jobs, runner).run(shards)
+        outcome.raise_for_quarantine()
+        return [
+            self._outcome(split, corun_measurement(res.payload))
+            for split, res in zip(splits, outcome.results)
+        ]
 
     def predict_split(self, split: Split) -> PlacementOutcome:
         """Predictor-based evaluation (no simulation)."""
@@ -145,13 +173,17 @@ class PlacementStudy:
                                 average_drop=avg)
 
     def run(self, flows: Sequence[str], method: str = "simulate",
-            max_splits: Optional[int] = None) -> StudyResult:
+            max_splits: Optional[int] = None, jobs: int = 1,
+            runner=None) -> StudyResult:
         """Evaluate every distinct split of ``flows``.
 
         ``method`` is ``"simulate"`` (ground truth, slow) or ``"predict"``
         (uses the sensitivity curves, fast). ``max_splits`` caps the number
         of evaluated splits for large mixed combinations (the extremes of
         interest are found among all splits by prediction first).
+        ``jobs > 1`` (or a :class:`~repro.sweep.SweepRunner` as
+        ``runner``) simulates the splits as parallel sweep shards; the
+        outcomes are identical to a serial pass.
         """
         splits = enumerate_splits(flows, self.spec.cores_per_socket)
         if method == "predict":
@@ -167,4 +199,7 @@ class PlacementStudy:
                             key=lambda s: self.predict_split(s).average_drop)
             half = max(1, max_splits // 2)
             splits = ranked[:half] + ranked[-half:]
+        if jobs > 1 or runner is not None:
+            return StudyResult(
+                self._simulate_splits_sharded(splits, jobs, runner))
         return StudyResult([self.simulate_split(s) for s in splits])

@@ -74,6 +74,59 @@ class Fig2Result:
                            title="Figure 2: contention-induced drop")
 
 
+def grid(config: ExperimentConfig,
+         apps: Sequence[str] = REALISTIC_APPS,
+         n_competitors: int = 5):
+    """The study as independent shards: ``(shards, merge)``.
+
+    One shard per solo profile and one per (target, competitor, repeat)
+    co-run — the sweep orchestrator runs them in any order on any number
+    of workers, and ``merge`` rebuilds a :class:`Fig2Result` identical
+    to :func:`run`'s (same seeds, same arithmetic, fixed merge order).
+    """
+    from ..sweep.parallel import (corun_measurement, corun_shard,
+                                  profile_block)
+
+    apps = tuple(apps)
+    spec = config.socket_spec()
+    prof_shards, merge_profiles = profile_block(
+        apps, spec, config.seed, config.solo_warmup, config.solo_measure,
+        config.repeats)
+    corun_shards = []
+    for target in apps:
+        for competitor in apps:
+            for rep in range(config.repeats):
+                placement = [(target, 0)] + [
+                    (competitor, core + 1) for core in range(n_competitors)
+                ]
+                corun_shards.append(corun_shard(
+                    placement, spec, config.seed + 1009 * rep,
+                    config.corun_warmup, config.corun_measure,
+                    tag=f"fig2:{target} vs {n_competitors}x{competitor}"
+                        + (f"#{rep}" if config.repeats > 1 else "")))
+    shards = prof_shards + corun_shards
+
+    def merge(results) -> Fig2Result:
+        profiles = merge_profiles(results[:len(prof_shards)])
+        it = iter(results[len(prof_shards):])
+        drops: Dict[Tuple[str, str], float] = {}
+        measurements: Dict[Tuple[str, str], CoRunMeasurement] = {}
+        for target in apps:
+            for competitor in apps:
+                total = 0.0
+                last = None
+                for _rep in range(config.repeats):
+                    corun = corun_measurement(next(it).payload)
+                    total += corun.drop(f"{target}@0", profiles[target])
+                    last = corun
+                drops[(target, competitor)] = total / config.repeats
+                measurements[(target, competitor)] = last
+        return Fig2Result(apps=apps, profiles=profiles, drops=drops,
+                          measurements=measurements)
+
+    return shards, merge
+
+
 def run(config: ExperimentConfig,
         apps: Sequence[str] = REALISTIC_APPS,
         profiles: Optional[Dict[str, SoloProfile]] = None,

@@ -61,6 +61,59 @@ class Fig5Result:
         return "\n".join(blocks)
 
 
+def grid(config: ExperimentConfig,
+         apps: Sequence[str] = REALISTIC_APPS):
+    """The overlay as shards: the Figure 2 grid plus per-app SYN curves.
+
+    Composes :func:`fig2.grid` with one
+    :func:`~repro.sweep.parallel.curve_block` per app; shared solo
+    profiles dedupe by content key inside the sweep.
+    """
+    from ..apps.synthetic import SWEEP_CPU_OPS
+    from ..sweep.parallel import curve_block
+
+    apps = tuple(apps)
+    spec = config.socket_spec()
+    fig2_shards, merge_fig2 = fig2.grid(config, apps=apps)
+    blocks = [
+        curve_block(app, spec, config.seed, SWEEP_CPU_OPS, 5,
+                    config.corun_warmup, config.corun_measure)
+        for app in apps
+    ]
+    shards = list(fig2_shards)
+    for curve_shards, _ in blocks:
+        shards.extend(curve_shards)
+
+    def merge(results) -> Fig5Result:
+        fig2_result = merge_fig2(results[:len(fig2_shards)])
+        curves: Dict[str, SensitivityCurve] = {}
+        pos = len(fig2_shards)
+        for app, (curve_shards, merge_curve) in zip(apps, blocks):
+            curves[app] = merge_curve(
+                results[pos:pos + len(curve_shards)],
+                fig2_result.profiles[app])
+            pos += len(curve_shards)
+        return _finish(apps, fig2_result, curves)
+
+    return shards, merge
+
+
+def _finish(apps: Sequence[str], fig2_result: fig2.Fig2Result,
+            curves: Dict[str, SensitivityCurve]) -> Fig5Result:
+    """Overlay assembly shared by the serial and sharded paths."""
+    realistic: Dict[str, List[Tuple[str, float, float]]] = {}
+    for target in apps:
+        points = []
+        for competitor in apps:
+            corun = fig2_result.measurements[(target, competitor)]
+            refs = corun.competing_refs(exclude=f"{target}@0")
+            points.append(
+                (competitor, refs, fig2_result.drops[(target, competitor)])
+            )
+        realistic[target] = points
+    return Fig5Result(curves=curves, realistic_points=realistic)
+
+
 def run(config: ExperimentConfig,
         apps: Sequence[str] = REALISTIC_APPS,
         fig2_result: Optional[fig2.Fig2Result] = None,
@@ -80,14 +133,4 @@ def run(config: ExperimentConfig,
             )
             for app in apps
         }
-    realistic: Dict[str, List[Tuple[str, float, float]]] = {}
-    for target in apps:
-        points = []
-        for competitor in apps:
-            corun = fig2_result.measurements[(target, competitor)]
-            refs = corun.competing_refs(exclude=f"{target}@0")
-            points.append(
-                (competitor, refs, fig2_result.drops[(target, competitor)])
-            )
-        realistic[target] = points
-    return Fig5Result(curves=curves, realistic_points=realistic)
+    return _finish(apps, fig2_result, curves)

@@ -50,6 +50,41 @@ class Fig6Result:
         return "\n".join(blocks)
 
 
+def grid(config: ExperimentConfig,
+         apps: Sequence[str] = REALISTIC_APPS,
+         deltas_ns: Sequence[float] = (30.0, DELTA_NS, 60.0)):
+    """The figure as shards: one solo profile per (app, repeat).
+
+    The delta curves are analytic; only the measured profiles cost
+    simulation time, so they are the sweep's shards and ``merge``
+    finishes the figure exactly as :func:`run` would.
+    """
+    from ..sweep.parallel import profile_block
+
+    apps = tuple(apps)
+    shards, merge_profiles = profile_block(
+        apps, config.socket_spec(), config.seed,
+        config.solo_warmup, config.solo_measure, config.repeats)
+
+    def merge(results) -> Fig6Result:
+        return _finish(merge_profiles(results), deltas_ns)
+
+    return shards, merge
+
+
+def _finish(profiles: Dict[str, SoloProfile],
+            deltas_ns: Sequence[float]) -> Fig6Result:
+    """Analytic tail shared by the serial and sharded paths."""
+    max_hits = max(p.l3_hits_per_sec for p in profiles.values()) * 1.6
+    curves = figure6_series(max_hits, deltas_ns=deltas_ns)
+    app_points = {
+        app: (p.l3_hits_per_sec, worst_case_drop(p.l3_hits_per_sec))
+        for app, p in profiles.items()
+    }
+    return Fig6Result(curves=curves, app_points=app_points,
+                      profiles=profiles)
+
+
 def run(config: ExperimentConfig,
         apps: Sequence[str] = REALISTIC_APPS,
         deltas_ns: Sequence[float] = (30.0, DELTA_NS, 60.0),
@@ -62,11 +97,4 @@ def run(config: ExperimentConfig,
             measure_packets=config.solo_measure,
             repeats=config.repeats,
         )
-    max_hits = max(p.l3_hits_per_sec for p in profiles.values()) * 1.6
-    curves = figure6_series(max_hits, deltas_ns=deltas_ns)
-    app_points = {
-        app: (p.l3_hits_per_sec, worst_case_drop(p.l3_hits_per_sec))
-        for app, p in profiles.items()
-    }
-    return Fig6Result(curves=curves, app_points=app_points,
-                      profiles=profiles)
+    return _finish(profiles, deltas_ns)

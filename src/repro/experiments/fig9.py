@@ -47,28 +47,27 @@ class Fig9Result:
         )
 
 
-def run(config: ExperimentConfig,
-        predictor: ContentionPredictor,
-        socket_mix: Sequence[str] = SOCKET_MIX) -> Fig9Result:
-    """Run the 12-flow mix and compare measured vs. predicted drops."""
-    spec = config.spec()
+def _placement(spec, socket_mix: Sequence[str]) -> List[Tuple[str, int]]:
+    """The two-socket core assignment of the mix (validated)."""
     if spec.n_sockets != 2:
         raise ValueError("the mixed workload uses both sockets")
     if len(socket_mix) > spec.cores_per_socket:
         raise ValueError("mix does not fit a socket")
-    placement = []
+    placement: List[Tuple[str, int]] = []
     for socket in range(2):
         for i, app in enumerate(socket_mix):
             placement.append((app, socket * spec.cores_per_socket + i))
-    corun = run_corun(placement, spec, seed=config.seed,
-                      warmup_packets=config.corun_warmup,
-                      measure_packets=config.corun_measure)
+    return placement
+
+
+def _finish(placement: Sequence[Tuple[str, int]], per_socket: int,
+            throughput, predictor: ContentionPredictor) -> Fig9Result:
+    """Row assembly shared by the serial and sharded paths."""
     rows: List[Tuple[str, str, float, float]] = []
-    per_socket = spec.cores_per_socket
     for app, core in placement:
         label = f"{app}@{core}"
         solo = predictor.profiles[app]
-        measured = performance_drop(solo.throughput, corun.throughput[label])
+        measured = performance_drop(solo.throughput, throughput[label])
         socket = core // per_socket
         competitors = [
             other for other, other_core in placement
@@ -77,3 +76,65 @@ def run(config: ExperimentConfig,
         predicted = predictor.predict_drop(app, competitors)
         rows.append((label, app, measured, predicted))
     return Fig9Result(rows=rows)
+
+
+def grid(config: ExperimentConfig,
+         socket_mix: Sequence[str] = SOCKET_MIX):
+    """The mixed workload as shards, predictor included.
+
+    One solo-profile shard and one SYN-curve block per distinct flow
+    type in the mix (identical content keys to the Figure 5 / predictor
+    shards, so a shared cache or in-sweep dedup pays for them once),
+    plus the single 12-flow co-run. ``merge`` builds the
+    :class:`ContentionPredictor` and the rows exactly as :func:`run`.
+    """
+    from ..apps.synthetic import SWEEP_CPU_OPS
+    from ..sweep.parallel import (corun_measurement, corun_shard,
+                                  curve_block, profile_block)
+
+    spec = config.spec()
+    socket_spec = config.socket_spec()
+    placement = _placement(spec, socket_mix)
+    apps = sorted(set(socket_mix))
+    prof_shards, merge_profiles = profile_block(
+        apps, socket_spec, config.seed,
+        config.solo_warmup, config.solo_measure)
+    blocks = [
+        curve_block(app, socket_spec, config.seed, SWEEP_CPU_OPS, 5,
+                    config.corun_warmup, config.corun_measure)
+        for app in apps
+    ]
+    shards = list(prof_shards)
+    for curve_shards, _ in blocks:
+        shards.extend(curve_shards)
+    shards.append(corun_shard(placement, spec, config.seed,
+                              config.corun_warmup, config.corun_measure,
+                              tag="fig9:" + "+".join(socket_mix)))
+
+    def merge(results) -> Fig9Result:
+        profiles = merge_profiles(results[:len(prof_shards)])
+        curves = {}
+        pos = len(prof_shards)
+        for app, (curve_shards, merge_curve) in zip(apps, blocks):
+            curves[app] = merge_curve(
+                results[pos:pos + len(curve_shards)], profiles[app])
+            pos += len(curve_shards)
+        predictor = ContentionPredictor(profiles=profiles, curves=curves)
+        corun = corun_measurement(results[pos].payload)
+        return _finish(placement, spec.cores_per_socket,
+                       corun.throughput, predictor)
+
+    return shards, merge
+
+
+def run(config: ExperimentConfig,
+        predictor: ContentionPredictor,
+        socket_mix: Sequence[str] = SOCKET_MIX) -> Fig9Result:
+    """Run the 12-flow mix and compare measured vs. predicted drops."""
+    spec = config.spec()
+    placement = _placement(spec, socket_mix)
+    corun = run_corun(placement, spec, seed=config.seed,
+                      warmup_packets=config.corun_warmup,
+                      measure_packets=config.corun_measure)
+    return _finish(placement, spec.cores_per_socket,
+                   corun.throughput, predictor)

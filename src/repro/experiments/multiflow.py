@@ -11,7 +11,7 @@ competitors here; every loss is private-cache interference).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from ..apps.registry import app_factory
 from ..click.multiflow import shared_core_factory
@@ -50,10 +50,75 @@ class MultiflowResult:
         )
 
 
-def run(config: ExperimentConfig,
-        mixes: Tuple[Tuple[str, ...], ...] = (("MON", "MON"),
+#: Default core-sharing mixes of the study.
+DEFAULT_MIXES: Tuple[Tuple[str, ...], ...] = (("MON", "MON"),
                                               ("MON", "IP"),
-                                              ("MON", "FW"))) -> MultiflowResult:
+                                              ("MON", "FW"))
+
+
+def measure_mix(mix: Sequence[str], spec, seed: int,
+                warmup_packets: int, measure_packets: int) -> float:
+    """Measured aggregate pps of one mix time-shared on core 0.
+
+    The independently-runnable unit of the study (one sweep shard); the
+    packet counts are per-member (the machine runs ``len(mix)`` times as
+    many so each member sees its usual window).
+    """
+    machine = Machine(spec, seed=seed)
+    label = "+".join(mix)
+    machine.add_flow(shared_core_factory(
+        [app_factory(app) for app in mix], name=label,
+    ), core=0, label=label)
+    stats = machine.run(
+        warmup_packets=warmup_packets * len(mix),
+        measure_packets=measure_packets * len(mix),
+    )[label]
+    return stats.packets_per_sec
+
+
+def grid(config: ExperimentConfig,
+         mixes: Tuple[Tuple[str, ...], ...] = DEFAULT_MIXES):
+    """The study as shards: solo profiles (first-appearance order, as the
+    serial loop discovers them) plus one shard per core-sharing mix."""
+    from ..sweep.parallel import profile_block
+    from ..sweep.shard import Shard
+    from ..sweep.tasks import spec_params
+
+    spec = config.socket_spec()
+    unique_apps: List[str] = []
+    for mix in mixes:
+        for app in mix:
+            if app not in unique_apps:
+                unique_apps.append(app)
+    prof_shards, merge_profiles = profile_block(
+        unique_apps, spec, config.seed,
+        config.solo_warmup, config.solo_measure)
+    fields = spec_params(spec)
+    mix_shards = [
+        Shard("multiflow_mix",
+              {"mix": list(mix), "spec": fields, "seed": config.seed,
+               "warmup": config.corun_warmup,
+               "measure": config.corun_measure},
+              tag=f"multiflow:{'+'.join(mix)}")
+        for mix in mixes
+    ]
+    shards = prof_shards + mix_shards
+
+    def merge(results) -> MultiflowResult:
+        profiles = merge_profiles(results[:len(prof_shards)])
+        solos = {app: profiles[app].throughput for app in unique_apps}
+        rows: List[Tuple[str, float, float]] = []
+        for mix, shard_result in zip(mixes, results[len(prof_shards):]):
+            ideal = len(mix) / sum(1.0 / solos[app] for app in mix)
+            rows.append(("+".join(mix), ideal,
+                         shard_result.payload["pps"]))
+        return MultiflowResult(rows=rows)
+
+    return shards, merge
+
+
+def run(config: ExperimentConfig,
+        mixes: Tuple[Tuple[str, ...], ...] = DEFAULT_MIXES) -> MultiflowResult:
     """Run each mix time-shared on a single otherwise-idle core."""
     spec = config.socket_spec()
     solos = {}
@@ -71,14 +136,8 @@ def run(config: ExperimentConfig,
         # the member count over count: n / sum(1/r_i) * ... for round-robin
         # one-packet turns the aggregate is n / sum(1/r_i)).
         ideal = len(mix) / sum(1.0 / solos[app] for app in mix)
-        machine = Machine(spec, seed=config.seed)
         label = "+".join(mix)
-        machine.add_flow(shared_core_factory(
-            [app_factory(app) for app in mix], name=label,
-        ), core=0, label=label)
-        stats = machine.run(
-            warmup_packets=config.corun_warmup * len(mix),
-            measure_packets=config.corun_measure * len(mix),
-        )[label]
-        rows.append((label, ideal, stats.packets_per_sec))
+        measured = measure_mix(mix, spec, config.seed,
+                               config.corun_warmup, config.corun_measure)
+        rows.append((label, ideal, measured))
     return MultiflowResult(rows=rows)

@@ -59,6 +59,22 @@ class Table1Result:
                       reverse=True)
 
 
+def grid(config: ExperimentConfig,
+         apps: Sequence[str] = REALISTIC_APPS):
+    """The table as shards: one solo profile per (app, repeat)."""
+    from ..sweep.parallel import profile_block
+
+    apps = tuple(apps)
+    shards, merge_profiles = profile_block(
+        apps, config.socket_spec(), config.seed,
+        config.solo_warmup, config.solo_measure, config.repeats)
+
+    def merge(results) -> Table1Result:
+        return Table1Result(profiles=merge_profiles(results))
+
+    return shards, merge
+
+
 def run(config: ExperimentConfig,
         apps: Sequence[str] = REALISTIC_APPS) -> Table1Result:
     """Profile every flow type solo (Table 1)."""

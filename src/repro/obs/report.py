@@ -92,6 +92,10 @@ class RunReport:
     flows: List[Dict[str, Any]] = field(default_factory=list)
     results: Dict[str, Any] = field(default_factory=dict)
     timeseries: Dict[str, Any] = field(default_factory=dict)
+    #: Volatile execution metadata (sweep parallelism, cache hit/miss and
+    #: retry counters, wall-clock). Everything *outside* this key is
+    #: deterministic: byte-identical across job counts and cache states.
+    execution: Dict[str, Any] = field(default_factory=dict)
     schema: str = SCHEMA
 
     @classmethod
@@ -129,6 +133,11 @@ class RunReport:
 
     def to_dict(self) -> Dict[str, Any]:
         out = dataclasses.asdict(self)
+        # Serial runs carry no execution metadata; omitting the empty key
+        # keeps their documents byte-identical to pre-sweep reports (and
+        # to the committed goldens).
+        if not out["execution"]:
+            del out["execution"]
         # Keep the schema marker first for human readers of the JSON.
         return {"schema": out.pop("schema"), **out}
 
@@ -196,6 +205,8 @@ def validate_report(data: Dict[str, Any]) -> List[str]:
         for i, flow in enumerate(data["flows"]):
             if not isinstance(flow, dict) or "label" not in flow:
                 problems.append(f"flows[{i}] must be an object with a label")
+    if not isinstance(data.get("execution", {}), dict):
+        problems.append("execution must be an object")
     timeseries = data.get("timeseries", {})
     if not isinstance(timeseries, dict):
         problems.append("timeseries must be an object")

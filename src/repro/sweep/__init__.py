@@ -1,0 +1,53 @@
+"""repro.sweep — sharded experiment sweeps with caching and fault tolerance.
+
+Decomposes the repository's experiment grids (figure studies, solo
+profiles, sensitivity sweeps) into independent, content-addressed
+*shards*, executes them serially or across a ``multiprocessing`` worker
+pool, and merges the results deterministically: the merged output is
+bit-identical to the serial run for any job count, shard completion
+order, or cache state.
+
+Layers:
+
+* :mod:`~repro.sweep.shard` — shard identity: canonical JSON, content
+  keys, :class:`Shard` / :class:`ShardResult`.
+* :mod:`~repro.sweep.cache` — content-addressed result cache (on-disk
+  or in-memory), hash-validated against truncation/corruption.
+* :mod:`~repro.sweep.tasks` — the executable task registry (what a
+  shard *does*); pure functions of the shard params.
+* :mod:`~repro.sweep.worker` — the pool worker loop.
+* :mod:`~repro.sweep.orchestrator` — :class:`SweepRunner`: dedup,
+  cache consult, pool management, per-shard timeout, retry with
+  bounded backoff, poison-shard quarantine, obs integration.
+* :mod:`~repro.sweep.parallel` — shard-block builders and the
+  ``jobs > 1`` front-ends the analysis layer delegates to.
+* :mod:`~repro.sweep.figures` — every figure as a ``(shards, merge)``
+  grid; :func:`run_figure`.
+"""
+
+from .cache import MemoryCache, ResultCache, default_cache_dir
+from .codeversion import code_version
+from .figures import FIGURE_GRIDS, run_figure
+from .orchestrator import (SweepError, SweepOptions, SweepOutcome,
+                           SweepRunner, run_shards)
+from .shard import Shard, ShardResult, canonical_json, shard_key
+from .tasks import run_task
+
+__all__ = [
+    "FIGURE_GRIDS",
+    "MemoryCache",
+    "ResultCache",
+    "Shard",
+    "ShardResult",
+    "SweepError",
+    "SweepOptions",
+    "SweepOutcome",
+    "SweepRunner",
+    "canonical_json",
+    "code_version",
+    "default_cache_dir",
+    "run_figure",
+    "run_shards",
+    "run_task",
+    "shard_key",
+]

@@ -1,0 +1,137 @@
+"""Content-addressed result caches for sweep shards.
+
+A cache maps a shard key (see :func:`repro.sweep.shard.shard_key`) to the
+shard's JSON payload. Because the key already encodes config, seed,
+engine, and code version, invalidation is automatic: any change to those
+inputs produces a different key and the stale entry is simply never read
+again.
+
+Two implementations share the interface:
+
+* :class:`ResultCache` — one JSON file per shard under a root directory,
+  written atomically (temp file + rename) and verified on read: the file
+  must parse, carry the expected key, and its payload must hash to the
+  stored ``payload_sha256``. A truncated, corrupted, or tampered file is
+  *detected and treated as a miss* (counted in ``stats["corrupt"]``), so
+  a damaged cache can only cost recomputation, never serve wrong data.
+* :class:`MemoryCache` — in-process dict, used to share shards between
+  figures within one invocation when no disk cache is configured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from .shard import canonical_json, payload_digest
+
+#: Schema marker inside every cache file.
+FILE_SCHEMA = "repro.sweep_cache/1"
+
+#: Environment variable overriding the default cache directory.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+def default_cache_dir() -> str:
+    """The disk cache location: ``$REPRO_SWEEP_CACHE`` or ``~/.cache``."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-sweep")
+
+
+class MemoryCache:
+    """Process-local shard cache (shares work across figures in one run)."""
+
+    def __init__(self) -> None:
+        self._store: Dict[str, Any] = {}
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "corrupt": 0,
+                                      "writes": 0}
+
+    def get(self, key: str) -> Optional[Any]:
+        if key in self._store:
+            self.stats["hits"] += 1
+            # Decouple the caller from the stored object.
+            return json.loads(self._store[key])
+        self.stats["misses"] += 1
+        return None
+
+    def put(self, key: str, payload: Any) -> None:
+        self._store[key] = canonical_json(payload)
+        self.stats["writes"] += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class ResultCache:
+    """Directory-backed content-addressed cache of shard payloads."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root if root is not None else default_cache_dir()
+        self.stats: Dict[str, int] = {"hits": 0, "misses": 0, "corrupt": 0,
+                                      "writes": 0}
+
+    def path(self, key: str) -> str:
+        """The file holding ``key``'s payload (two-level fan-out)."""
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload, or None on miss *or* integrity failure."""
+        path = self.path(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats["corrupt"] += 1
+            self.stats["misses"] += 1
+            return None
+        if (not isinstance(doc, dict)
+                or doc.get("schema") != FILE_SCHEMA
+                or doc.get("key") != key
+                or "payload" not in doc
+                or payload_digest(doc["payload"]) != doc.get("payload_sha256")):
+            self.stats["corrupt"] += 1
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        return doc["payload"]
+
+    def put(self, key: str, payload: Any) -> None:
+        """Store ``payload`` atomically (concurrent writers are safe)."""
+        path = self.path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        doc = {
+            "schema": FILE_SCHEMA,
+            "key": key,
+            "payload_sha256": payload_digest(payload),
+            "payload": payload,
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats["writes"] += 1
+
+    def __len__(self) -> int:
+        count = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            count += sum(1 for n in filenames
+                         if n.endswith(".json") and not n.startswith(".tmp-"))
+        return count

@@ -1,0 +1,46 @@
+"""Code-version fingerprint for cache invalidation.
+
+A cached shard result is only valid for the code that produced it; the
+sweep cache therefore mixes a fingerprint of the ``repro`` package's
+sources into every shard key. Editing any ``.py`` file under the package
+changes the fingerprint and silently invalidates the whole cache — no
+manual flushing, no stale results after a refactor.
+
+The fingerprint hashes file *contents* (not mtimes), so a ``git checkout``
+back to an earlier revision re-validates that revision's cached shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+_CACHED: Optional[str] = None
+
+
+def code_version(refresh: bool = False) -> str:
+    """Hex fingerprint of every ``.py`` source under the repro package.
+
+    Memoized per process (the sources cannot change under a running
+    interpreter in any way that matters to already-imported code); pass
+    ``refresh=True`` to force a re-scan.
+    """
+    global _CACHED
+    if _CACHED is not None and not refresh:
+        return _CACHED
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    _CACHED = digest.hexdigest()[:16]
+    return _CACHED

@@ -1,0 +1,50 @@
+"""Registry of figure grids: every experiment as a ``(shards, merge)`` pair.
+
+Each entry maps a figure name to its module-level ``grid(config)``
+builder. :func:`run_figure` is the sharded equivalent of calling the
+experiment module's ``run()`` — the merged result is bit-identical to
+the serial one regardless of job count, completion order, or cache
+state (the shards run the same seeded simulations the serial loops do,
+and the merges consume their results positionally in shard order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..experiments import fig2, fig5, fig6, fig9, multiflow, table1
+from ..experiments.common import ExperimentConfig
+from .orchestrator import SweepOptions, SweepRunner
+
+#: figure name -> grid builder returning ``(shards, merge)``.
+FIGURE_GRIDS: Dict[str, Callable] = {
+    "table1": table1.grid,
+    "fig2": fig2.grid,
+    "fig5": fig5.grid,
+    "fig6": fig6.grid,
+    "fig9": fig9.grid,
+    "multiflow": multiflow.grid,
+}
+
+
+def run_figure(name: str, config: ExperimentConfig,
+               runner: Optional[SweepRunner] = None, jobs: int = 1,
+               **grid_kwargs):
+    """Run one figure as a sweep; returns the experiment's result object.
+
+    Equivalent to ``experiments.<name>.run(config)`` for any ``jobs``.
+    Pass a shared :class:`SweepRunner` to reuse one cache/pool setup
+    across figures (duplicate shards — e.g. the solo profiles every
+    figure needs — then cost one execution per content key).
+    """
+    try:
+        grid = FIGURE_GRIDS[name]
+    except KeyError:
+        raise KeyError(f"unknown figure {name!r}; "
+                       f"known: {', '.join(FIGURE_GRIDS)}") from None
+    if runner is None:
+        runner = SweepRunner(SweepOptions(jobs=jobs))
+    shards, merge = grid(config, **grid_kwargs)
+    outcome = runner.run(shards)
+    outcome.raise_for_quarantine()
+    return merge(outcome.results)

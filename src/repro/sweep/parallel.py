@@ -1,0 +1,191 @@
+"""Shard-block builders and parallel front-ends for the analysis layer.
+
+A *block* is a ``(shards, merge)`` pair: the shard list for one logical
+unit of work (a set of solo profiles, one sensitivity curve) and a merge
+function that consumes exactly that block's :class:`ShardResult` slice —
+in input order — and rebuilds the domain object the serial code would
+have produced. Figure grids compose blocks by concatenating shard lists
+and slicing the result list back apart, which keeps merging positional,
+allocation-free, and trivially deterministic.
+
+The ``*_parallel`` functions at the bottom are what
+:func:`repro.core.profiler.profile_apps`,
+:func:`repro.core.prediction.sweep_sensitivity`, and
+:meth:`repro.core.prediction.ContentionPredictor.build` delegate to when
+called with ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.profiler import SoloProfile, _average_profiles
+from ..hw.counters import performance_drop
+from ..hw.topology import PlatformSpec
+from .orchestrator import SweepOptions, SweepRunner
+from .shard import Shard, ShardResult
+from .tasks import spec_params
+
+#: A block: shards plus the merge consuming exactly their results.
+Block = Tuple[List[Shard], Callable[[Sequence[ShardResult]], object]]
+
+
+# -- blocks -------------------------------------------------------------------
+
+def profile_block(apps: Sequence[str], spec: PlatformSpec, seed: int,
+                  warmup: int, measure: int, repeats: int = 1) -> Block:
+    """Solo profiles for ``apps`` (averaged over ``repeats`` seeded runs).
+
+    Mirrors :func:`repro.core.profiler.profile_apps`: repeat ``i`` runs
+    at ``seed + 101*i``, and the merge averages exactly as the serial
+    code does.
+    """
+    fields = spec_params(spec)
+    shards = [
+        Shard("profile",
+              {"app": app, "spec": fields, "seed": seed + 101 * rep,
+               "warmup": warmup, "measure": measure, "core": 0},
+              tag=f"profile:{app}" + (f"#{rep}" if repeats > 1 else ""))
+        for app in apps for rep in range(repeats)
+    ]
+
+    def merge(results: Sequence[ShardResult]) -> Dict[str, SoloProfile]:
+        out: Dict[str, SoloProfile] = {}
+        it = iter(results)
+        for app in apps:
+            reps = [SoloProfile(**next(it).payload) for _ in range(repeats)]
+            out[app] = _average_profiles(app, reps)
+        return out
+
+    return shards, merge
+
+
+def curve_block(app: str, spec: PlatformSpec, seed: int,
+                cpu_ops_levels: Sequence[int], n_competitors: int,
+                warmup: int, measure: int):
+    """One sensitivity curve, one shard per SYN level.
+
+    The merge needs the target's solo profile (for the drop baseline),
+    so it takes ``(results, solo)`` — callers close over their profile
+    block's output.
+    """
+    fields = spec_params(spec)
+    shards = [
+        Shard("sensitivity_point",
+              {"app": app, "spec": fields, "seed": seed, "level": level,
+               "cpu_ops": cpu_ops, "n_competitors": n_competitors,
+               "warmup": warmup, "measure": measure},
+              tag=f"curve:{app}@L{level}")
+        for level, cpu_ops in enumerate(cpu_ops_levels)
+    ]
+
+    def merge(results: Sequence[ShardResult], solo: SoloProfile):
+        from ..core.prediction import SensitivityCurve
+
+        points = [
+            (r.payload["competing"],
+             performance_drop(solo.throughput, r.payload["target_pps"]))
+            for r in results
+        ]
+        return SensitivityCurve(app=app, points=points)
+
+    return shards, merge
+
+
+def corun_shard(placement: Sequence[Tuple[str, int]], spec: PlatformSpec,
+                seed: int, warmup: int, measure: int,
+                tag: str = "") -> Shard:
+    """One co-run placement as a shard (Figure 2 cell, split, mix...)."""
+    return Shard("corun", {
+        "placement": [[app, core] for app, core in placement],
+        "spec": spec_params(spec), "seed": seed,
+        "warmup": warmup, "measure": measure,
+    }, tag=tag)
+
+
+def corun_measurement(payload: Dict) -> "CoRunMeasurement":
+    """Rebuild a :class:`CoRunMeasurement` from a corun shard payload.
+
+    The raw :class:`RunResult` stays in the worker (it is not
+    serializable and no merge needs it); ``result`` is None.
+    """
+    from ..core.validation import CoRunMeasurement
+
+    return CoRunMeasurement(
+        apps=dict(payload["apps"]),
+        throughput=dict(payload["throughput"]),
+        refs_per_sec=dict(payload["refs_per_sec"]),
+        result=None,
+    )
+
+
+# -- parallel front-ends ------------------------------------------------------
+
+def _runner(jobs: int, runner: Optional[SweepRunner]) -> SweepRunner:
+    if runner is not None:
+        return runner
+    return SweepRunner(SweepOptions(jobs=jobs))
+
+
+def profile_apps_parallel(apps, spec, seed, warmup_packets, measure_packets,
+                          repeats: int = 1, jobs: int = 1,
+                          runner: Optional[SweepRunner] = None
+                          ) -> Dict[str, SoloProfile]:
+    """Sharded :func:`repro.core.profiler.profile_apps`."""
+    apps = list(apps)
+    shards, merge = profile_block(apps, spec, seed, warmup_packets,
+                                  measure_packets, repeats)
+    outcome = _runner(jobs, runner).run(shards)
+    outcome.raise_for_quarantine()
+    return merge(outcome.results)
+
+
+def sweep_sensitivity_parallel(app, spec, seed, cpu_ops_levels,
+                               n_competitors, warmup_packets,
+                               measure_packets, solo=None, jobs: int = 1,
+                               runner: Optional[SweepRunner] = None):
+    """Sharded :func:`repro.core.prediction.sweep_sensitivity`."""
+    shards: List[Shard] = []
+    prof_merge = None
+    if solo is None:
+        prof_shards, prof_merge = profile_block(
+            [app], spec, seed, warmup_packets, measure_packets)
+        shards.extend(prof_shards)
+    curve_shards, merge_curve = curve_block(
+        app, spec, seed, cpu_ops_levels, n_competitors,
+        warmup_packets, measure_packets)
+    shards.extend(curve_shards)
+    outcome = _runner(jobs, runner).run(shards)
+    outcome.raise_for_quarantine()
+    cut = len(shards) - len(curve_shards)
+    if prof_merge is not None:
+        solo = prof_merge(outcome.results[:cut])[app]
+    return merge_curve(outcome.results[cut:], solo)
+
+
+def build_predictor_parallel(cls, apps, spec, seed, cpu_ops_levels,
+                             n_competitors, warmup_packets, measure_packets,
+                             jobs: int = 1,
+                             runner: Optional[SweepRunner] = None):
+    """Sharded :meth:`ContentionPredictor.build`: all profiles and every
+    (app, SYN level) co-run resolve concurrently in one sweep."""
+    prof_shards, merge_profiles = profile_block(
+        apps, spec, seed, warmup_packets, measure_packets)
+    curve_blocks = [
+        curve_block(app, spec, seed, cpu_ops_levels, n_competitors,
+                    warmup_packets, measure_packets)
+        for app in apps
+    ]
+    shards = list(prof_shards)
+    for curve_shards, _ in curve_blocks:
+        shards.extend(curve_shards)
+    outcome = _runner(jobs, runner).run(shards)
+    outcome.raise_for_quarantine()
+    profiles = merge_profiles(outcome.results[:len(prof_shards)])
+    curves = {}
+    pos = len(prof_shards)
+    for app, (curve_shards, merge_curve) in zip(apps, curve_blocks):
+        curves[app] = merge_curve(
+            outcome.results[pos:pos + len(curve_shards)], profiles[app])
+        pos += len(curve_shards)
+    return cls(profiles=profiles, curves=curves)

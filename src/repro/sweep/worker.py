@@ -1,0 +1,54 @@
+"""The sweep worker process.
+
+One worker owns one task queue: the orchestrator hands it exactly one
+shard at a time and waits for the matching result on the shared result
+queue, so at any moment the orchestrator knows precisely which shard a
+worker holds — the knowledge that makes timeout-kill, crash detection,
+and retry accounting exact instead of heuristic.
+
+Messages:
+
+* task queue:   ``(index, kind, params)`` or ``None`` (shutdown).
+* result queue: ``(worker_id, index, status, payload_or_traceback,
+  seconds)`` with ``status`` in ``{"ok", "error"}``.
+
+A worker that raises reports the traceback and *keeps serving* (a bad
+shard must not cost a process); a worker that dies (crash, SIGKILL,
+orchestrator timeout-kill) simply never reports, and the orchestrator
+notices via its exit code.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+
+
+def worker_main(worker_id: int, task_q, result_q, engine: str) -> None:
+    """Serve shards until the ``None`` sentinel arrives."""
+    # The orchestrator owns Ctrl-C handling; workers must not race it to
+    # a KeyboardInterrupt traceback.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    from .. import fastpath
+    from .tasks import run_task
+
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        index, kind, params = item
+        start = time.perf_counter()
+        try:
+            with fastpath.use_engine(engine):
+                payload = run_task(kind, params)
+        except Exception:
+            result_q.put((worker_id, index, "error",
+                          traceback.format_exc(),
+                          time.perf_counter() - start))
+        else:
+            result_q.put((worker_id, index, "ok", payload,
+                          time.perf_counter() - start))

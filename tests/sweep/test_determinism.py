@@ -1,0 +1,118 @@
+"""Determinism tests: sharded sweeps are byte-identical to serial runs.
+
+The guarantee under test is the subsystem's contract: for any job count,
+shard completion order, and cache state, the merged figure results — and
+the run reports built from them — serialize to exactly the same bytes as
+a ``--jobs 1`` (or legacy serial) run, on both execution engines. Only
+the ``execution`` key of a report (parallelism, cache counters,
+wall-clock) may differ.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+
+import pytest
+
+import repro.fastpath as fastpath
+from repro.experiments import fig2, fig6, multiflow
+from repro.experiments.common import ExperimentConfig
+from repro.obs.recorder import _jsonable
+from repro.sweep import MemoryCache, SweepOptions, SweepRunner, run_figure
+
+pytestmark = pytest.mark.sweep
+
+#: Small-but-real configuration: full code paths, few packets.
+CONFIG = ExperimentConfig(scale=64, solo_warmup=150, solo_measure=150,
+                          corun_warmup=120, corun_measure=120)
+APPS = ("MON", "FW")
+MIXES = (("MON", "FW"),)
+
+ENGINES = ("scalar", "batch")
+
+
+def _strip_handles(obj):
+    """Drop the one non-data field of a figure result: the live
+    ``CoRunMeasurement.result`` simulation handle, whose repr embeds a
+    memory address (volatile even between two identical serial runs) and
+    which deliberately does not cross the worker boundary."""
+    if isinstance(obj, dict):
+        return {k: _strip_handles(v) for k, v in obj.items()
+                if k != "result"}
+    if isinstance(obj, (list, tuple)):
+        return [_strip_handles(v) for v in obj]
+    return obj
+
+
+def canon(obj) -> str:
+    """Byte-exact serialized form used for equality (sorted, lossless)."""
+    return json.dumps(_strip_handles(_jsonable(obj)), sort_keys=True,
+                      default=str)
+
+
+def serial_result(name: str, engine: str):
+    with fastpath.use_engine(engine):
+        if name == "fig2":
+            return fig2.run(CONFIG, apps=APPS)
+        if name == "fig6":
+            return fig6.run(CONFIG, apps=APPS)
+        if name == "multiflow":
+            return multiflow.run(CONFIG, mixes=MIXES)
+        raise KeyError(name)
+
+
+def sharded_result(name: str, engine: str, jobs: int, cache=None):
+    runner = SweepRunner(SweepOptions(jobs=jobs, engine=engine, cache=cache))
+    kwargs = {"mixes": MIXES} if name == "multiflow" else {"apps": APPS}
+    return run_figure(name, CONFIG, runner=runner, **kwargs)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", ("fig2", "fig6", "multiflow"))
+def test_jobs4_matches_serial(name, engine):
+    serial = canon(serial_result(name, engine))
+    parallel = canon(sharded_result(name, engine, jobs=4))
+    assert parallel == serial
+
+
+@pytest.mark.parametrize("name", ("fig6", "multiflow"))
+def test_cached_rerun_matches_serial(name):
+    """A warm cache changes nothing but the work done."""
+    cache = MemoryCache()
+    serial = canon(serial_result(name, "scalar"))
+    cold = canon(sharded_result(name, "scalar", jobs=2, cache=cache))
+    warm = canon(sharded_result(name, "scalar", jobs=2, cache=cache))
+    assert cold == serial
+    assert warm == serial
+    assert cache.stats["hits"] > 0
+
+
+def test_jobs1_sharded_matches_serial():
+    """The inline (no-subprocess) sweep path is the same arithmetic too."""
+    assert canon(sharded_result("fig6", "scalar", jobs=1)) \
+        == canon(serial_result("fig6", "scalar"))
+
+
+def _sweep_report(extra_args) -> dict:
+    from repro.cli import sweep_main
+
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out), \
+            contextlib.redirect_stderr(io.StringIO()):
+        rc = sweep_main(["MON", "--scale", "64", "--warmup", "150",
+                         "--measure", "150", "--json"] + extra_args)
+    assert rc == 0
+    return json.loads(out.getvalue())
+
+
+def test_cli_run_report_identical_modulo_execution():
+    """``repro-sweep --jobs 4 --json`` == ``--jobs 1`` except ``execution``."""
+    serial = _sweep_report([])
+    parallel = _sweep_report(["--jobs", "4", "--no-cache"])
+    # Serial reports carry no execution key at all (byte-stable schema).
+    assert "execution" not in serial
+    assert parallel.pop("execution")["sweep"]["jobs"] == 4
+    assert json.dumps(serial, sort_keys=True) \
+        == json.dumps(parallel, sort_keys=True)

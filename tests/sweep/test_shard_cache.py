@@ -1,0 +1,145 @@
+"""Unit tests for shard identity and the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.sweep import (MemoryCache, ResultCache, Shard, canonical_json,
+                        code_version, shard_key)
+from repro.sweep.cache import FILE_SCHEMA
+from repro.sweep.shard import payload_digest
+
+
+# -- canonical form -----------------------------------------------------------
+
+def test_canonical_json_is_order_independent():
+    a = canonical_json({"b": 1, "a": [1, 2, {"y": 0, "x": 9}]})
+    b = canonical_json({"a": [1, 2, {"x": 9, "y": 0}], "b": 1})
+    assert a == b
+
+
+def test_canonical_json_rejects_nan():
+    with pytest.raises(ValueError):
+        canonical_json({"v": float("nan")})
+
+
+def test_canonical_json_round_trips_floats():
+    values = [0.1, 1e300, 5.0, -7.25, 43.75e-9]
+    assert json.loads(canonical_json(values)) == values
+
+
+# -- shard keys ---------------------------------------------------------------
+
+def test_shard_key_stable_and_sensitive():
+    params = {"app": "MON", "seed": 1, "warmup": 10}
+    base = shard_key("profile", params, "scalar", "abc")
+    assert base == shard_key("profile", dict(params), "scalar", "abc")
+    assert base != shard_key("corun", params, "scalar", "abc")
+    assert base != shard_key("profile", {**params, "seed": 2}, "scalar", "abc")
+    assert base != shard_key("profile", params, "batch", "abc")
+    assert base != shard_key("profile", params, "scalar", "def")
+
+
+def test_shard_key_ignores_param_order():
+    assert (shard_key("t", {"a": 1, "b": 2}, "scalar", "c")
+            == shard_key("t", {"b": 2, "a": 1}, "scalar", "c"))
+
+
+def test_shard_tag_does_not_affect_key():
+    a = Shard("profile", {"app": "MON"}, tag="one")
+    b = Shard("profile", {"app": "MON"}, tag="two")
+    assert a.key("scalar", "c") == b.key("scalar", "c")
+
+
+def test_code_version_is_memoized_and_stable():
+    v1 = code_version()
+    v2 = code_version()
+    v3 = code_version(refresh=True)
+    assert v1 == v2 == v3
+    assert len(v1) == 16
+    int(v1, 16)  # hex
+
+
+# -- memory cache -------------------------------------------------------------
+
+def test_memory_cache_round_trip_returns_copies():
+    cache = MemoryCache()
+    payload = {"rows": [1, 2], "name": "x"}
+    cache.put("k", payload)
+    first = cache.get("k")
+    assert first == payload
+    first["rows"].append(99)
+    assert cache.get("k") == payload  # caller mutation did not leak back
+    assert cache.get("absent") is None
+    assert cache.stats == {"hits": 2, "misses": 1, "corrupt": 0, "writes": 1}
+    assert len(cache) == 1
+
+
+# -- disk cache ---------------------------------------------------------------
+
+def test_result_cache_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    payload = {"competing": 1.5e7, "target_pps": 2.0e6}
+    cache.put("ab" * 32, payload)
+    assert cache.get("ab" * 32) == payload
+    assert cache.get("cd" * 32) is None
+    assert len(cache) == 1
+    assert cache.stats["hits"] == 1
+    assert cache.stats["misses"] == 1
+    assert cache.stats["corrupt"] == 0
+
+
+def test_result_cache_detects_truncation(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "12" * 32
+    cache.put(key, {"value": list(range(100))})
+    path = cache.path(key)
+    size = os.path.getsize(path)
+    with open(path, "r+") as fh:
+        fh.truncate(size // 2)
+    assert cache.get(key) is None
+    assert cache.stats["corrupt"] == 1
+
+
+def test_result_cache_detects_payload_tampering(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "34" * 32
+    cache.put(key, {"value": 1})
+    path = cache.path(key)
+    doc = json.load(open(path))
+    doc["payload"]["value"] = 2  # hash no longer matches
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    assert cache.get(key) is None
+    assert cache.stats["corrupt"] == 1
+
+
+def test_result_cache_rejects_wrong_key_and_schema(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "56" * 32
+    other = "78" * 32
+    payload = {"v": 3}
+    # A file copied to the wrong key's path must not be served.
+    cache.put(other, payload)
+    os.makedirs(os.path.dirname(cache.path(key)), exist_ok=True)
+    os.replace(cache.path(other), cache.path(key))
+    assert cache.get(key) is None
+    assert cache.stats["corrupt"] == 1
+    # An unknown schema marker is corrupt too.
+    doc = {"schema": FILE_SCHEMA + "-not", "key": key,
+           "payload_sha256": payload_digest(payload), "payload": payload}
+    with open(cache.path(key), "w") as fh:
+        json.dump(doc, fh)
+    assert cache.get(key) is None
+    assert cache.stats["corrupt"] == 2
+
+
+def test_result_cache_put_is_atomic_no_temp_left(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("9a" * 32, {"v": 1})
+    leftovers = [n for _, _, names in os.walk(tmp_path) for n in names
+                 if n.startswith(".tmp-")]
+    assert leftovers == []

@@ -78,6 +78,75 @@ def test_property_curve_exact_at_knots(points):
         assert curve.predict(x) == pytest.approx(y, abs=1e-9)
 
 
+@st.composite
+def monotone_curve_points(draw):
+    """Sensitivity-shaped curves: unique sorted refs, non-decreasing drops.
+
+    Measured sensitivity curves are (noise aside) non-decreasing — more
+    competition never helps — so the prediction-method properties below
+    are stated over this shape.
+    """
+    n = draw(st.integers(min_value=1, max_value=8))
+    xs = sorted(draw(st.lists(
+        st.floats(min_value=1e5, max_value=3e8), min_size=n, max_size=n,
+        unique=True)))
+    steps = draw(st.lists(st.floats(min_value=0, max_value=0.2), min_size=n,
+                          max_size=n))
+    ys, total = [], 0.0
+    for step in steps:
+        total = min(0.95, total + step)
+        ys.append(total)
+    return list(zip(xs, ys))
+
+
+@given(points=monotone_curve_points(),
+       x1=st.floats(min_value=0, max_value=1e9),
+       x2=st.floats(min_value=0, max_value=1e9))
+def test_property_curve_lookup_monotone_in_competing_refs(points, x1, x2):
+    curve = SensitivityCurve("X", points)
+    lo, hi = sorted((x1, x2))
+    assert curve.predict(lo) <= curve.predict(hi) + 1e-12
+
+
+@given(points=monotone_curve_points(),
+       refs=st.lists(st.floats(min_value=0, max_value=5e7), min_size=1,
+                     max_size=8))
+def test_property_removing_a_competitor_never_raises_prediction(points, refs):
+    """The method evaluates the curve at the *sum* of competing solo
+    refs/sec, so dropping any competitor can only lower the prediction."""
+    curve = SensitivityCurve("X", points)
+    assert (curve.predict(sum(refs[:-1]))
+            <= curve.predict(sum(refs)) + 1e-12)
+
+
+@given(points=monotone_curve_points(), x=st.floats(min_value=0, max_value=1e9))
+def test_property_curve_bounded_and_clamped_by_endpoints(points, x):
+    curve = SensitivityCurve("X", points)
+    value = curve.predict(x)
+    assert float(curve.drops[0]) - 1e-12 <= value \
+        <= float(curve.drops[-1]) + 1e-12
+    # Past the highest measured level the curve is flat (paper obs. (c)).
+    top = float(curve.refs[-1])
+    assert curve.predict(2 * top + 1.0) \
+        == pytest.approx(float(curve.drops[-1]), abs=1e-12)
+
+
+@given(points=monotone_curve_points())
+def test_property_curve_exact_at_measured_points_and_origin(points):
+    curve = SensitivityCurve("X", points)
+    # Zero competition means zero drop: the auto-inserted origin.
+    assert curve.predict(0.0) == 0.0
+    for x, y in points:
+        assert curve.predict(x) == pytest.approx(y, abs=1e-9)
+
+
+@given(x=st.floats(min_value=-1e9, max_value=-1e-9))
+def test_property_curve_rejects_negative_competition(x):
+    curve = SensitivityCurve("X", [(1e6, 0.1)])
+    with pytest.raises(ValueError):
+        curve.predict(x)
+
+
 # -- cache vs. fill/invalidate interplay --------------------------------------------
 
 @given(st.lists(

@@ -108,3 +108,56 @@ def test_max_splits_prefilter_requires_predictor():
     with pytest.raises(RuntimeError, match="predictor"):
         study.run(["HOT"] * 6 + ["COLD"] * 6, method="simulate",
                   max_splits=2)
+
+
+# -- coverage: degenerate combinations ----------------------------------------
+
+def test_single_pair_has_one_split():
+    # One flow per socket: only one distinct placement exists.
+    assert enumerate_splits(["A", "B"], per_socket=1) == [(("A",), ("B",))]
+
+
+def test_more_flows_than_cores_rejected():
+    study = make_study()
+    with pytest.raises(ValueError, match="flows"):
+        study.run(["HOT"] * 14, method="predict")
+
+
+def test_oversized_split_group_rejected():
+    study = make_study()
+    with pytest.raises(ValueError, match="socket"):
+        study.simulate_split((("HOT",) * 7, ("HOT",) * 5))
+
+
+def test_all_identical_flows_give_zero_scheduling_gain():
+    study = make_study()
+    result = study.run(["HOT"] * 12, method="predict")
+    assert len(result.outcomes) == 1
+    assert result.best is result.worst
+    assert result.scheduling_gain == 0.0
+
+
+# -- coverage: simulated study, serial vs. sharded ----------------------------
+
+def simulation_study():
+    spec = PlatformSpec.westmere().scaled(64)
+    return PlacementStudy(spec, profiles={"MON": profile("MON", refs=5e6)},
+                          warmup_packets=80, measure_packets=80)
+
+
+def test_all_identical_flows_simulated_one_split_zero_gain():
+    result = simulation_study().run(["MON"] * 12, method="simulate")
+    assert len(result.outcomes) == 1
+    assert result.scheduling_gain == 0.0
+    assert set(result.best.per_flow_drop) == {f"MON@{i}" for i in range(12)}
+
+
+def test_sharded_simulation_matches_serial():
+    serial = simulation_study().run(["MON"] * 12, method="simulate")
+    sharded = simulation_study().run(["MON"] * 12, method="simulate", jobs=2)
+    assert [o.split for o in sharded.outcomes] \
+        == [o.split for o in serial.outcomes]
+    assert [o.per_flow_drop for o in sharded.outcomes] \
+        == [o.per_flow_drop for o in serial.outcomes]
+    assert [o.average_drop for o in sharded.outcomes] \
+        == [o.average_drop for o in serial.outcomes]

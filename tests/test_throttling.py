@@ -90,3 +90,111 @@ def test_two_faced_flow_contained_by_throttle():
 def test_two_faced_validation():
     with pytest.raises(ValueError):
         TwoFacedFlow(object(), object(), trigger_packets=-1)
+
+
+# -- throttle-loop boundary behaviour (unit level) ----------------------------
+
+class _InertFlow:
+    name = "inert"
+
+    def run_packet(self, ctx):
+        return None
+
+
+class _Ctx:
+    def __init__(self):
+        self.computed = []
+
+    def compute(self, ops, refs):
+        self.computed.append((ops, refs))
+
+
+class _Counting:
+    def __init__(self, name):
+        self.name = name
+        self.calls = 0
+
+    def run_packet(self, ctx):
+        self.calls += 1
+
+
+def make_throttle(adjust_every=4, gain=0.6, target=1e6):
+    from types import SimpleNamespace
+
+    flow = ThrottledFlow(_InertFlow(), target_refs_per_sec=target,
+                         adjust_every=adjust_every, gain=gain)
+    fr = SimpleNamespace(counters=SimpleNamespace(l3_refs=0), clock=0.0)
+    machine = SimpleNamespace(spec=SimpleNamespace(freq_hz=1e9))
+    flow.attach_run(machine, fr)
+    return flow, fr
+
+
+def test_adjust_fires_only_on_period_boundaries():
+    flow, fr = make_throttle(adjust_every=4)
+    ctx = _Ctx()
+    for i in range(1, 9):
+        fr.counters.l3_refs += 10
+        fr.clock += 1000.0
+        flow.run_packet(ctx)
+        assert flow.adjustments == i // 4
+
+
+def test_adjust_without_clock_progress_is_a_no_op():
+    flow, _ = make_throttle(adjust_every=1)
+    flow.run_packet(_Ctx())  # d_clock == 0: feedback loop must not divide
+    assert flow.adjustments == 0
+    assert flow.extra_gap == 0.0
+
+
+def test_extra_gap_never_negative():
+    flow, fr = make_throttle(adjust_every=1)
+    flow.extra_gap = 5.0
+    ctx = _Ctx()
+    for _ in range(50):
+        fr.clock += 1000.0  # time passes, zero refs: far under target
+        flow.run_packet(ctx)
+        assert flow.extra_gap >= 0.0
+    assert flow.extra_gap == 0.0
+
+
+def test_fractional_gap_below_one_cycle_is_not_applied():
+    flow, _ = make_throttle()
+    ctx = _Ctx()
+    flow.extra_gap = 0.9
+    flow.run_packet(ctx)
+    assert ctx.computed == []
+    flow.extra_gap = 2.0
+    flow.run_packet(ctx)
+    assert ctx.computed == [(2, 2)]
+
+
+def test_over_target_growth_and_quarter_gain_shrink():
+    flow, fr = make_throttle(adjust_every=1, gain=0.6, target=1e6)
+    ctx = _Ctx()
+    # One interval at 10x the target rate: error = 9, 1000 cycles/packet.
+    fr.counters.l3_refs += 10
+    fr.clock += 1000.0
+    flow.run_packet(ctx)
+    assert flow.extra_gap == pytest.approx(0.6 * 9 * 1000)
+    # One idle interval (rate 0, error = -1) shrinks at a quarter gain.
+    before = flow.extra_gap
+    fr.clock += 1000.0
+    flow.run_packet(ctx)
+    assert flow.extra_gap == pytest.approx(before - 0.25 * 0.6 * 1000)
+
+
+def test_two_faced_trigger_boundary_exact():
+    innocent, aggressive = _Counting("i"), _Counting("a")
+    flow = TwoFacedFlow(innocent, aggressive, trigger_packets=3)
+    for _ in range(5):
+        flow.run_packet(None)
+    # Packets 1..3 run the innocent persona; the switch lands on packet 4.
+    assert (innocent.calls, aggressive.calls) == (3, 2)
+    assert flow.triggered
+
+
+def test_two_faced_zero_trigger_is_aggressive_from_first_packet():
+    innocent, aggressive = _Counting("i"), _Counting("a")
+    flow = TwoFacedFlow(innocent, aggressive, trigger_packets=0)
+    flow.run_packet(None)
+    assert (innocent.calls, aggressive.calls) == (0, 1)
