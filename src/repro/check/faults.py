@@ -1,0 +1,118 @@
+"""Deliberate, reversible bug injection for the invariant suite.
+
+Each fault monkeypatches one seam of the simulator so that runs under it
+violate a specific conservation law — proving, end to end, that the
+invariant engine actually catches the class of bug it claims to guard
+against (a checker that never fires is indistinguishable from one that
+checks nothing). Faults are context managers: the patch is always
+removed on exit, so an injecting test cannot poison later tests.
+
+Available faults:
+
+* ``l3-snapshot-leak`` — :meth:`CoreCounters.copy` leaks an extra,
+  growing L3-hit count into every snapshot, corrupting measurement
+  windows without touching the live counters (caught by the window
+  conservation checks: ``l3_refs != l3_hits + l3_misses`` on the delta).
+* ``event-undercount`` — the engine's :class:`RunResult` silently drops
+  one event from the machine-wide reference count (caught by
+  event conservation: per-flow level counts no longer sum to events).
+* ``forwarded-leak`` — :class:`Pipeline` occasionally forgets to count
+  a forwarded packet (caught by packet conservation on the scalar
+  engine; the batch engine re-derives the counter, which is itself a
+  documented equivalence property).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator
+
+FAULTS: Dict[str, Callable] = {}
+
+
+def fault(name: str):
+    """Register a fault context-manager factory under ``name``."""
+    def register(fn):
+        FAULTS[name] = fn
+        return fn
+    return register
+
+
+def fault_names():
+    return sorted(FAULTS)
+
+
+@contextmanager
+def inject(name: str) -> Iterator[None]:
+    """Apply fault ``name`` for the duration of the ``with`` block."""
+    try:
+        factory = FAULTS[name]
+    except KeyError:
+        raise KeyError(f"unknown fault {name!r}; "
+                       f"known: {', '.join(fault_names())}") from None
+    with factory():
+        yield
+
+
+@fault("l3-snapshot-leak")
+@contextmanager
+def _l3_snapshot_leak() -> Iterator[None]:
+    from ..hw.counters import CoreCounters
+
+    orig_copy = CoreCounters.copy
+    calls = [0]
+
+    def leaky_copy(self):
+        snap = orig_copy(self)
+        calls[0] += 1
+        # A *growing* leak: consecutive snapshots differ, so window
+        # deltas cannot cancel it out.
+        snap.l3_hits += calls[0]
+        return snap
+
+    CoreCounters.copy = leaky_copy
+    try:
+        yield
+    finally:
+        CoreCounters.copy = orig_copy
+
+
+@fault("event-undercount")
+@contextmanager
+def _event_undercount() -> Iterator[None]:
+    from ..hw import machine as machine_mod
+
+    orig_result = machine_mod.RunResult
+
+    class ShortResult(orig_result):
+        def __init__(self, spec, flows, events, end_clock, metrics=None):
+            super().__init__(spec, flows, max(0, events - 1), end_clock,
+                             metrics=metrics)
+
+    machine_mod.RunResult = ShortResult
+    try:
+        yield
+    finally:
+        machine_mod.RunResult = orig_result
+
+
+@fault("forwarded-leak")
+@contextmanager
+def _forwarded_leak() -> Iterator[None]:
+    from ..click.pipeline import Pipeline
+
+    orig_run = Pipeline.run_packet
+    calls = [0]
+
+    def leaky_run(self, ctx):
+        dma = orig_run(self, ctx)
+        calls[0] += 1
+        if calls[0] % 50 == 0 and self.forwarded > 0:
+            self.forwarded -= 1
+        return dma
+
+    Pipeline.run_packet = leaky_run
+    try:
+        yield
+    finally:
+        Pipeline.run_packet = orig_run

@@ -1,0 +1,119 @@
+"""Greedy shrinking of failing scenario configurations.
+
+Given a failing :class:`~repro.check.scenarios.ScenarioConfig` and a
+predicate ``fails(config) -> bool`` (re-running the scenario through the
+invariant checks), :func:`shrink` searches for a *minimal* configuration
+that still fails, by repeatedly applying order-preserving reductions:
+
+1. drop one flow at a time;
+2. simplify wrapper flows to their plain base application
+   (two-faced/throttled -> base app, shared-core -> fewer members);
+3. collapse a two-socket platform to one socket (remapping cores);
+4. halve the measurement window (and the warm-up) toward their minima.
+
+Each reduction is kept only if the reduced configuration still fails.
+The loop runs to a fixpoint under a budget of predicate evaluations, so
+shrinking is deterministic and bounded even for flaky predicates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional
+
+from .scenarios import FlowConf, ScenarioConfig
+
+#: Ceiling on predicate evaluations per shrink.
+DEFAULT_BUDGET = 60
+
+MIN_WARMUP = 1
+MIN_MEASURE = 30
+
+
+def _simplified_flow(fc: FlowConf) -> List[FlowConf]:
+    """Simpler variants of one flow configuration (may be empty)."""
+    out: List[FlowConf] = []
+    if fc.kind in ("twofaced", "throttled"):
+        out.append(FlowConf("app", fc.core, app=fc.app,
+                            data_domain=fc.data_domain))
+    if fc.kind == "syn" and fc.cpu_ops is None:
+        out.append(FlowConf("syn", fc.core, cpu_ops=0,
+                            data_domain=fc.data_domain))
+    if fc.kind == "shared":
+        if len(fc.apps) > 2:
+            out.append(dataclasses.replace(fc, apps=fc.apps[:2]))
+        else:
+            out.append(FlowConf("app", fc.core, app=fc.apps[0],
+                                data_domain=fc.data_domain))
+    if fc.data_domain is not None:
+        out.append(dataclasses.replace(fc, data_domain=None))
+    return out
+
+
+def _candidates(config: ScenarioConfig) -> List[ScenarioConfig]:
+    """All one-step reductions of ``config``, in preference order."""
+    out: List[ScenarioConfig] = []
+    flows = config.flows
+
+    # 1) Drop one flow (most aggressive first).
+    if len(flows) > 1:
+        for i in range(len(flows)):
+            out.append(dataclasses.replace(
+                config, flows=flows[:i] + flows[i + 1:]))
+
+    # 2) Simplify one flow.
+    for i, fc in enumerate(flows):
+        for simpler in _simplified_flow(fc):
+            out.append(dataclasses.replace(
+                config, flows=flows[:i] + (simpler,) + flows[i + 1:]))
+
+    # 3) Collapse to a single socket.
+    if config.sockets == 2:
+        spec = config.spec()
+        per = spec.cores_per_socket
+        used = sorted(fc.core for fc in flows)
+        if len(used) <= per:
+            remap = {core: i for i, core in enumerate(used)}
+            out.append(dataclasses.replace(
+                config, sockets=1,
+                flows=tuple(dataclasses.replace(fc, core=remap[fc.core],
+                                                data_domain=None)
+                            for fc in flows)))
+
+    # 4) Halve the windows.
+    if config.measure > MIN_MEASURE:
+        out.append(dataclasses.replace(
+            config, measure=max(MIN_MEASURE, config.measure // 2)))
+    if config.warmup > MIN_WARMUP:
+        out.append(dataclasses.replace(
+            config, warmup=max(MIN_WARMUP, config.warmup // 2)))
+
+    return out
+
+
+def shrink(config: ScenarioConfig,
+           fails: Callable[[ScenarioConfig], bool],
+           budget: int = DEFAULT_BUDGET) -> ScenarioConfig:
+    """A minimal (under the reduction set) config that still fails.
+
+    ``config`` itself is assumed to fail; if no reduction reproduces the
+    failure within ``budget`` predicate evaluations, the original (or
+    best-so-far) configuration is returned.
+    """
+    current = config
+    evaluations = 0
+    progress = True
+    while progress and evaluations < budget:
+        progress = False
+        for candidate in _candidates(current):
+            if evaluations >= budget:
+                break
+            evaluations += 1
+            if fails(candidate):
+                current = candidate
+                progress = True
+                break
+    if current is not config:
+        current = dataclasses.replace(
+            current, name=(config.name or "scenario") + "-min")
+    return current

@@ -36,6 +36,7 @@ class Pipeline:
         self.tx = tx if tx is not None else ToDevice()
         self.elements: List[Element] = list(elements)
         self.dropped = 0
+        self.forwarded = 0
         #: Per-element attribution of the most recent packet,
         #: ``[(element, refs, instructions), ...]``; populated only while
         #: a tracer is attached (the engine reads it at packet boundary).
@@ -95,6 +96,7 @@ class Pipeline:
                 result = result[1]
             packet = result
         self.tx.send(ctx, packet)
+        self.forwarded += 1
         return dma
 
     def _run_packet_traced(self, ctx: AccessContext):
@@ -125,6 +127,7 @@ class Pipeline:
                 result = result[1]
             packet = result
         self.tx.send(ctx, packet)
+        self.forwarded += 1
         refs0, instr0 = refs1, instr1
         marks.append((self.tx.name, ctx.n_references - refs0,
                       ctx.instructions - instr0))

@@ -104,6 +104,7 @@ def _flow_state(fr) -> Dict[str, object]:
     flow = fr.flow
     state: Dict[str, object] = {"clock": fr.clock}
     state["dropped"] = getattr(flow, "dropped", None)
+    state["forwarded"] = getattr(flow, "forwarded", None)
     turns = getattr(flow, "turns", None)
     if turns is not None:
         state["turns"] = list(turns)

@@ -460,6 +460,12 @@ def run_batch(machine, warmup_packets: int = 200,
             raise RuntimeError("tag registry changed mid-run")
         heappush(heap, (fr.clock, fr.index))
 
+    checker = machine.checker
+    if checker is not None:
+        # Same probe wrapping as the scalar engine: the checker observes
+        # packet boundaries through the sampler protocol, at identical
+        # points of the global interleaving.
+        checker.install(machine)
     tracer = machine.tracer
     trace_on = tracer.active
     sampler = machine.metrics
@@ -543,5 +549,9 @@ def run_batch(machine, warmup_packets: int = 200,
         sampler.finish(flows)
     if trace_on:
         tracer.end_run(end_clock, ev[0])
-    return RunResult(machine.spec, flows, ev[0], end_clock,
-                     metrics=sampler)
+    result = RunResult(machine.spec, flows, ev[0], end_clock,
+                       metrics=sampler if checker is None
+                       else checker.unwrap(sampler))
+    if checker is not None:
+        checker.after_run(machine, result)
+    return result

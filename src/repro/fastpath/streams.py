@@ -256,17 +256,18 @@ class StreamMeta:
     """
 
     __slots__ = ("layout", "flow_name", "measure_weight", "shared_k",
-                 "trigger_packets", "has_dropped")
+                 "trigger_packets", "has_dropped", "has_forwarded")
 
     def __init__(self, layout: Tuple, flow_name: str, measure_weight: float,
                  shared_k: Optional[int], trigger_packets: Optional[int],
-                 has_dropped: bool):
+                 has_dropped: bool, has_forwarded: bool = False):
         self.layout = layout
         self.flow_name = flow_name
         self.measure_weight = measure_weight
         self.shared_k = shared_k
         self.trigger_packets = trigger_packets
         self.has_dropped = has_dropped
+        self.has_forwarded = has_forwarded
 
 
 def build_meta(flow, regions, data_domain: int) -> StreamMeta:
@@ -285,6 +286,7 @@ def build_meta(flow, regions, data_domain: int) -> StreamMeta:
         shared_k,
         trigger if isinstance(trigger, int) else None,
         hasattr(flow, "dropped"),
+        hasattr(flow, "forwarded"),
     )
 
 
@@ -379,8 +381,8 @@ class StubFlow:
     _OWN = frozenset({
         "_factory", "_meta", "_regions", "_seed", "_core", "_domain",
         "_spec", "_attach", "_flow", "_patched", "_absent", "touched",
-        "name", "measure_weight", "stream_signature", "dropped", "turns",
-        "_next", "packets", "triggered", "trigger_packets",
+        "name", "measure_weight", "stream_signature", "dropped", "forwarded",
+        "turns", "_next", "packets", "triggered", "trigger_packets",
     })
 
     def __init__(self, factory, meta: StreamMeta, signature, regions,
@@ -407,6 +409,10 @@ class StubFlow:
             self.dropped = 0
         else:
             absent.add("dropped")
+        if getattr(meta, "has_forwarded", False):
+            self.forwarded = 0
+        else:
+            absent.add("forwarded")
         if meta.shared_k:
             self.turns = [0] * meta.shared_k
             self._next = 0
@@ -440,8 +446,8 @@ class StubFlow:
                 # Before run-state patching the live flow owns the
                 # engine-visible state; drop the stub's shadows so reads
                 # delegate. After patching the shadows *are* the state.
-                for attr in ("dropped", "turns", "_next", "packets",
-                             "triggered"):
+                for attr in ("dropped", "forwarded", "turns", "_next",
+                             "packets", "triggered"):
                     try:
                         object.__delattr__(self, attr)
                     except AttributeError:
@@ -613,6 +619,7 @@ class StreamSupplier:
         self._next_packet = 0
         self._generated = 0        # packets actually produced by the flow
         self._dropped_base = int(getattr(self.flow, "dropped", 0) or 0)
+        self._forwarded_base = int(getattr(self.flow, "forwarded", 0) or 0)
         self._regions = RegionTable(getattr(fr, "regions", []) or [])
         self.key = (stream_key(self.flow, seed, fr.core, spec)
                     if cacheable else None)
@@ -763,6 +770,12 @@ class StreamSupplier:
             meta = flow._meta
             if meta.has_dropped:
                 flow.dropped = self._dropped_base + dropped_cum
+            if getattr(meta, "has_forwarded", False):
+                # A pipeline forwards every non-dropped packet (it never
+                # produces idle packets), so the forwarded count is fully
+                # determined by the consumed count and the drop count.
+                flow.forwarded = (self._forwarded_base + consumed_packets
+                                  - dropped_cum)
             if meta.shared_k:
                 k = meta.shared_k
                 flow.turns = [(consumed_packets - m + k - 1) // k
@@ -774,6 +787,9 @@ class StreamSupplier:
             return
         if hasattr(flow, "dropped"):
             flow.dropped = self._dropped_base + dropped_cum
+        if hasattr(flow, "forwarded"):
+            flow.forwarded = (self._forwarded_base + consumed_packets
+                              - dropped_cum)
         if getattr(flow, "turns", None) is not None \
                 and getattr(flow, "flows", None):
             k = len(flow.flows)

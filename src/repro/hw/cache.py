@@ -104,6 +104,37 @@ class SetAssociativeCache:
             out.extend(s)
         return out
 
+    def validate(self) -> List[str]:
+        """Structural integrity problems of the LRU state (empty = sound).
+
+        Checks the invariants every mutation above preserves: no set
+        holds more lines than the associativity, every resident line
+        lives in the set its index maps to, and no line is resident
+        twice. The invariant engine (:mod:`repro.check`) calls this on
+        every cache of a machine during and after runs.
+        """
+        problems: List[str] = []
+        seen: dict = {}
+        for idx, s in enumerate(self.sets):
+            if len(s) > self.ways:
+                problems.append(
+                    f"{self.name}: set {idx} holds {len(s)} lines "
+                    f"(> {self.ways} ways)"
+                )
+            for line in s:
+                if line % self.n_sets != idx:
+                    problems.append(
+                        f"{self.name}: line {line} resident in set {idx} "
+                        f"but maps to set {line % self.n_sets}"
+                    )
+                if line in seen:
+                    problems.append(
+                        f"{self.name}: line {line} resident in sets "
+                        f"{seen[line]} and {idx}"
+                    )
+                seen[line] = idx
+        return problems
+
     def hit_rate(self) -> float:
         """Fraction of accesses that hit (0.0 when never accessed)."""
         total = self.hits + self.misses

@@ -152,7 +152,8 @@ class Machine:
 
     def __init__(self, spec: Optional[PlatformSpec] = None, seed: int = DEFAULT_SEED,
                  record_latencies: bool = False,
-                 tracer: Optional[Tracer] = None, metrics=None):
+                 tracer: Optional[Tracer] = None, metrics=None,
+                 checker=None):
         self.spec = spec if spec is not None else PlatformSpec.westmere()
         self.seed = seed
         self.record_latencies = record_latencies
@@ -167,6 +168,11 @@ class Machine:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional ``repro.obs.MetricsSampler`` (one run's time series).
         self.metrics = metrics
+        #: Optional ``repro.check.InvariantChecker``: hooks conservation
+        #: checks into packet boundaries (via the metrics protocol) and
+        #: runs the full machine-wide audit at end of run. Both engines
+        #: honour it at identical points of the interleaving.
+        self.checker = checker
         self.space = AddressSpace(self.spec.n_sockets)
         self.l3 = [
             SetAssociativeCache(self.spec.l3_size, self.spec.l3_ways, f"L3.{s}")
@@ -389,6 +395,12 @@ class Machine:
         # single boolean guards the hot loop checks; with both off the
         # loop below is byte-for-byte the pre-observability engine plus
         # those checks (see tests/test_obs_overhead.py).
+        checker = self.checker
+        if checker is not None:
+            # The checker wraps self.metrics with a probe implementing
+            # the same sampler protocol, so the hot loop below needs no
+            # extra branches to feed it.
+            checker.install(self)
         tracer = self.tracer
         trace_on = tracer.active
         sampler = self.metrics
@@ -580,5 +592,9 @@ class Machine:
             sampler.finish(flows)
         if trace_on:
             tracer.end_run(end_clock, events)
-        return RunResult(self.spec, flows, events, end_clock,
-                         metrics=sampler)
+        result = RunResult(self.spec, flows, events, end_clock,
+                           metrics=sampler if checker is None
+                           else checker.unwrap(sampler))
+        if checker is not None:
+            checker.after_run(self, result)
+        return result

@@ -121,6 +121,20 @@ def _task_multiflow_mix(p: Dict[str, Any]) -> Dict[str, Any]:
     return {"label": "+".join(p["mix"]), "pps": measured}
 
 
+@task("check_scenario")
+def _task_check_scenario(p: Dict[str, Any]) -> Dict[str, Any]:
+    """One fuzzer scenario under the invariant checks (see repro.check).
+
+    The payload carries the exact end-of-run counters, so the check
+    runner can assert serial and sharded execution agree bit-for-bit.
+    """
+    from ..check.runner import scenario_payload
+    from ..check.scenarios import ScenarioConfig
+
+    config = ScenarioConfig.from_dict(p["config"])
+    return scenario_payload(config, engine=p.get("engine"))
+
+
 # -- fault injection (test suite) --------------------------------------------
 
 def _count_attempt(state_dir: str, token: str) -> int:

@@ -1,0 +1,115 @@
+"""The ``repro-check`` command line, end to end (in process)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.cli import main
+from repro.check.corpus import corpus_paths
+from repro.obs.report import validate_report
+
+pytestmark = pytest.mark.check
+
+FAST = ["--scenarios", "1", "--seed", "0x5EED", "--no-corpus"]
+
+
+def test_clean_run_exits_zero(capsys):
+    rc = main(FAST + ["--engine", "scalar"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 scenarios" in out and "ok" in out
+
+
+def test_hex_and_decimal_seeds_agree(capsys):
+    assert main(FAST + ["--engine", "scalar"]) == 0
+    hex_out = capsys.readouterr().out
+    assert main(["--scenarios", "1", "--seed", str(0x5EED), "--no-corpus",
+                 "--engine", "scalar"]) == 0
+    dec_out = capsys.readouterr().out
+    # Same scenarios, same verdict (only the wall-clock suffix may vary).
+    assert hex_out.rsplit("(", 1)[0] == dec_out.rsplit("(", 1)[0]
+
+
+def test_injected_fault_fails_with_nonzero_exit(tmp_path, capsys):
+    corpus_dir = str(tmp_path / "corpus")
+    rc = main(["--scenarios", "1", "--seed", "7", "--engine", "scalar",
+               "--inject-fault", "event-undercount",
+               "--corpus-dir", corpus_dir])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "shrunk to:" in out
+    assert corpus_paths(corpus_dir)
+
+
+def test_json_report_is_valid(capsys):
+    rc = main(FAST + ["--engine", "scalar", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert validate_report(doc) == []
+    assert doc["kind"] == "check"
+    assert doc["config"]["seed"] == 0x5EED
+
+
+def test_report_file_written(tmp_path, capsys):
+    path = tmp_path / "check_report.json"
+    rc = main(FAST + ["--engine", "scalar", "--report", str(path)])
+    assert rc == 0
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert validate_report(doc) == []
+
+
+def test_list_faults(capsys):
+    assert main(["--list-faults"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "l3-snapshot-leak" in out
+    assert "event-undercount" in out
+
+
+def test_replay_round_trip(tmp_path, capsys):
+    corpus_dir = str(tmp_path / "corpus")
+    # Record a failure with a fault...
+    assert main(["--scenarios", "1", "--seed", "7", "--engine", "scalar",
+                 "--inject-fault", "event-undercount", "--no-shrink",
+                 "--corpus-dir", corpus_dir, "-q"]) == 1
+    capsys.readouterr()
+    # ...replaying it without the fault is clean (exit 0).
+    assert main(["--replay", corpus_dir, "--engine", "both", "-q"]) == 0
+    assert "0 still failing" in capsys.readouterr().out
+
+
+def test_replay_empty_dir(tmp_path, capsys):
+    assert main(["--replay", str(tmp_path)]) == 0
+    assert "no corpus entries" in capsys.readouterr().out
+
+
+def test_replay_still_failing_entry_exits_one(tmp_path, capsys):
+    # An entry whose config cannot even build (unknown app) counts as a
+    # crash finding: replay must report it and exit nonzero.
+    from repro.check.corpus import ReproEntry, save_repro
+    from repro.check.scenarios import FlowConf, ScenarioConfig
+
+    broken = ScenarioConfig(seed=1, warmup=1, measure=30,
+                            flows=(FlowConf("app", 0, app="NOPE"),),
+                            name="still-broken")
+    save_repro(str(tmp_path), ReproEntry(config=broken,
+                                         violations=["[x] crash"],
+                                         engines=["scalar"]))
+    assert main(["--replay", str(tmp_path), "--engine", "scalar"]) == 1
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "1 still failing" in out
+
+
+def test_bad_usage_rejected():
+    with pytest.raises(SystemExit):
+        main(["--scenarios", "-3"])
+    with pytest.raises(SystemExit):
+        main(["--seed", "zebra"])
+    with pytest.raises(SystemExit):
+        main(["--engine", "warp"])
+    with pytest.raises(SystemExit):
+        main(["--probe-interval", "0"])

@@ -1,0 +1,74 @@
+"""Corpus serialization: schema, content addressing, iteration."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.check.corpus import (ReproEntry, SCHEMA, corpus_paths, entry_path,
+                                iter_corpus, load_repro, save_repro)
+from repro.check.scenarios import FlowConf, ScenarioConfig
+
+pytestmark = pytest.mark.check
+
+CONFIG = ScenarioConfig(seed=9, warmup=1, measure=30,
+                        flows=(FlowConf("app", 0, app="IP"),),
+                        name="corpus-unit")
+
+
+def _entry(**kw):
+    defaults = dict(config=CONFIG, violations=["[x] broke"],
+                    engines=["scalar"], note="unit")
+    defaults.update(kw)
+    return ReproEntry(**defaults)
+
+
+def test_round_trip(tmp_path):
+    entry = _entry(injected_fault="event-undercount")
+    path = save_repro(str(tmp_path), entry)
+    assert path == entry_path(str(tmp_path), entry)
+    loaded = load_repro(path)
+    assert loaded.config == entry.config
+    assert loaded.violations == entry.violations
+    assert loaded.engines == ["scalar"]
+    assert loaded.injected_fault == "event-undercount"
+    assert loaded.note == "unit"
+    assert loaded.digest == entry.digest
+
+
+def test_content_addressing_deduplicates(tmp_path):
+    save_repro(str(tmp_path), _entry(note="first"))
+    save_repro(str(tmp_path), _entry(note="second"))
+    paths = corpus_paths(str(tmp_path))
+    assert len(paths) == 1
+    assert load_repro(paths[0]).note == "second"
+
+
+def test_iter_corpus(tmp_path):
+    assert iter_corpus(str(tmp_path / "missing")) == []
+    save_repro(str(tmp_path), _entry())
+    entries = iter_corpus(str(tmp_path))
+    assert len(entries) == 1
+    assert entries[0].schema == SCHEMA
+
+
+def test_rejects_foreign_schema(tmp_path):
+    entry = _entry()
+    path = save_repro(str(tmp_path), entry)
+    with open(path) as fh:
+        doc = json.load(fh)
+    doc["schema"] = "something/else"
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError):
+        load_repro(path)
+
+
+def test_files_end_with_newline(tmp_path):
+    # Committed corpus entries should satisfy POSIX text conventions.
+    path = save_repro(str(tmp_path), _entry())
+    with open(path, "rb") as fh:
+        assert fh.read().endswith(b"}\n")
+    assert os.path.basename(path).startswith("repro_")

@@ -1,0 +1,93 @@
+"""Scenario generation: determinism, serialization, well-formedness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.scenarios import (FLOW_KINDS, FlowConf, ScenarioConfig,
+                                   generate, generate_one)
+
+pytestmark = pytest.mark.check
+
+
+def test_generation_is_deterministic():
+    a = generate(12, 0x5EED)
+    b = generate(12, 0x5EED)
+    assert a == b
+    assert [c.digest() for c in a] == [c.digest() for c in b]
+
+
+def test_different_seeds_differ():
+    assert generate(8, 1) != generate(8, 2)
+
+
+def test_indexing_is_stable():
+    # Scenario i is a pure function of (seed, i), not of how many
+    # scenarios were requested — CI failures name a reproducible index.
+    assert generate(10, 7)[6] == generate_one(7, 6)
+
+
+@pytest.mark.parametrize("index", range(20))
+def test_generated_configs_are_well_formed(index):
+    config = generate_one(0x5EED, index)
+    spec = config.spec()
+    total_cores = spec.n_sockets * spec.cores_per_socket
+    cores = [fc.core for fc in config.flows]
+    assert cores, "a scenario must place at least one flow"
+    assert len(set(cores)) == len(cores), "one flow per core"
+    assert all(0 <= c < total_cores for c in cores)
+    assert config.warmup >= 1 and config.measure >= 30
+    for fc in config.flows:
+        assert fc.kind in FLOW_KINDS
+        if fc.data_domain is not None:
+            assert config.sockets == 2
+            assert 0 <= fc.data_domain < 2
+
+
+def test_round_trip_preserves_config_and_digest():
+    for config in generate(10, 3):
+        clone = ScenarioConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert clone.digest() == config.digest()
+
+
+def test_digest_ignores_name():
+    config = generate_one(1, 0)
+    renamed = ScenarioConfig.from_dict({**config.to_dict(), "name": "other"})
+    assert renamed.digest() == config.digest()
+
+
+def test_digest_sees_every_field():
+    config = generate_one(1, 0)
+    bumped = ScenarioConfig.from_dict(
+        {**config.to_dict(), "measure": config.measure + 10})
+    assert bumped.digest() != config.digest()
+
+
+@pytest.mark.parametrize("kind,conf", [
+    ("app", FlowConf("app", 0, app="IP")),
+    ("syn", FlowConf("syn", 0, cpu_ops=60)),
+    ("syn-max", FlowConf("syn", 0, cpu_ops=None)),
+    ("shared", FlowConf("shared", 0, apps=("IP", "MON"))),
+    ("throttled", FlowConf("throttled", 0, app="IP", rate=2.0e7)),
+    ("twofaced", FlowConf("twofaced", 0, app="FW", trigger=40)),
+])
+def test_every_flow_kind_builds_and_runs(kind, conf):
+    config = ScenarioConfig(seed=11, scale=64, warmup=5, measure=40,
+                            flows=(conf,), name=f"kind-{kind}")
+    machine, result = config.run(engine="scalar")
+    assert result.events > 0
+    assert result.flow_labels
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FlowConf("bogus", 0).factory()
+
+
+def test_describe_mentions_every_flow():
+    config = generate_one(0x5EED, 0)
+    text = config.describe()
+    assert config.name in text
+    for fc in config.flows:
+        assert f"@{fc.core}" in text

@@ -1,0 +1,73 @@
+"""Shrinking: failing configurations reduce to minimal reproductions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.scenarios import FlowConf, ScenarioConfig
+from repro.check.shrink import MIN_MEASURE, MIN_WARMUP, shrink
+
+pytestmark = pytest.mark.check
+
+BIG = ScenarioConfig(
+    seed=5, scale=64, sockets=2, warmup=60, measure=200,
+    flows=(FlowConf("app", 0, app="IP"),
+           FlowConf("twofaced", 2, app="FW", trigger=40),
+           FlowConf("shared", 7, apps=("MON", "RE", "FPC")),
+           FlowConf("syn", 9, cpu_ops=None, data_domain=0)),
+    name="big")
+
+
+def test_shrinks_to_single_flow_and_minimal_windows():
+    # "Failure" depends on nothing: every reduction still fails, so the
+    # shrinker should reach the floor of the reduction lattice.
+    minimal = shrink(BIG, lambda config: True, budget=200)
+    assert len(minimal.flows) == 1
+    assert minimal.sockets == 1
+    assert minimal.warmup == MIN_WARMUP
+    assert minimal.measure == MIN_MEASURE
+    assert minimal.name == "big-min"
+
+
+def test_shrink_preserves_the_failing_property():
+    # Failure requires at least two flows: the shrinker must stop there.
+    def fails(config):
+        return len(config.flows) >= 2
+
+    minimal = shrink(BIG, fails, budget=200)
+    assert len(minimal.flows) == 2
+    assert fails(minimal)
+
+
+def test_shrink_keeps_the_culprit_flow():
+    # Failure tied to the two-faced flow: it must survive simplified but
+    # every unrelated flow should be gone. (Simplifying two-faced to its
+    # plain base app would make the predicate pass, so it stays.)
+    def fails(config):
+        return any(fc.kind == "twofaced" for fc in config.flows)
+
+    minimal = shrink(BIG, fails, budget=200)
+    assert len(minimal.flows) == 1
+    assert minimal.flows[0].kind == "twofaced"
+
+
+def test_unshrinkable_config_returned_unchanged():
+    config = ScenarioConfig(seed=1, warmup=MIN_WARMUP, measure=MIN_MEASURE,
+                            flows=(FlowConf("app", 0, app="IP"),),
+                            name="tiny")
+
+    def fails(candidate):
+        return candidate == config  # no reduction reproduces it
+
+    assert shrink(config, fails) is config
+
+
+def test_budget_bounds_predicate_evaluations():
+    calls = []
+
+    def fails(config):
+        calls.append(config)
+        return True
+
+    shrink(BIG, fails, budget=5)
+    assert len(calls) <= 5

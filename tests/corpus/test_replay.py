@@ -1,0 +1,53 @@
+"""Corpus replay: every recorded reproduction must run clean today.
+
+The files next to this test (``repro_*.json``) are minimal scenario
+configurations that once violated an invariant (the committed seed
+entries were captured under deliberate fault injection; future entries
+are whatever ``repro-check`` finds in the wild, shrunk). Replaying them
+is the permanent regression gate: a fixed bug that resurfaces fails
+here with its original minimal reproduction, long after the fuzzer's
+random walk has moved on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.check.corpus import SCHEMA, corpus_paths, load_repro
+from repro.check.runner import run_config
+
+pytestmark = pytest.mark.check
+
+CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+ENTRIES = corpus_paths(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    # The seed entries (captured under fault injection) must be present;
+    # an empty corpus would silently disable the whole regression gate.
+    assert len(ENTRIES) >= 3
+
+
+@pytest.mark.parametrize("path", ENTRIES,
+                         ids=[os.path.basename(p) for p in ENTRIES])
+def test_entry_is_well_formed(path):
+    entry = load_repro(path)
+    assert entry.schema == SCHEMA
+    assert entry.violations, "an entry must record what it reproduced"
+    assert entry.config.flows
+    # Content addressing: the file name embeds the config digest.
+    assert entry.digest in os.path.basename(path)
+
+
+@pytest.mark.parametrize("path", ENTRIES,
+                         ids=[os.path.basename(p) for p in ENTRIES])
+def test_entry_replays_clean(path):
+    entry = load_repro(path)
+    engines = tuple(entry.engines) or ("scalar", "batch")
+    violations = run_config(entry.config, engines)
+    assert violations == [], (
+        f"corpus reproduction {os.path.basename(path)} fails again "
+        f"(originally: {entry.note or 'unknown'})")

@@ -3,17 +3,21 @@
 
 Usage (from the repository root)::
 
-    PYTHONPATH=src python tests/golden/regen.py
+    PYTHONPATH=src python tests/golden/regen.py [--out DIR]
 
-Rewrites ``tests/golden/golden_<name>.json`` for every golden figure.
-Only run this when a change *intends* to move the paper's numbers; the
-diff of the regenerated files is the review artifact.
+Rewrites ``tests/golden/golden_<name>.json`` for every golden figure
+(or writes them into ``DIR``, leaving the committed goldens untouched —
+that mode is what the byte-drift regression test uses). Only run it
+against the committed files when a change *intends* to move the paper's
+numbers; the diff of the regenerated files is the review artifact.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
+from typing import List, Optional
 
 try:
     from . import builders
@@ -22,13 +26,28 @@ except ImportError:  # executed as a script, not a package module
     import builders  # type: ignore[no-redef]
 
 
-def main() -> int:
-    out_dir = os.path.dirname(os.path.abspath(__file__))
+def regen(out_dir: str, quiet: bool = False) -> List[str]:
+    """Write every golden report into ``out_dir``; the paths written."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
     for name, text in builders.build_reports().items():
         path = os.path.join(out_dir, f"golden_{name}.json")
         with open(path, "w") as fh:
             fh.write(text)
-        print(f"wrote {path} ({len(text)} bytes)", file=sys.stderr)
+        paths.append(path)
+        if not quiet:
+            print(f"wrote {path} ({len(text)} bytes)", file=sys.stderr)
+    return paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", metavar="DIR",
+        default=os.path.dirname(os.path.abspath(__file__)),
+        help="directory to write into (default: the committed goldens)")
+    args = parser.parse_args(argv)
+    regen(args.out)
     return 0
 
 

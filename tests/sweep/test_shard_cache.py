@@ -109,7 +109,8 @@ def test_result_cache_detects_payload_tampering(tmp_path):
     key = "34" * 32
     cache.put(key, {"value": 1})
     path = cache.path(key)
-    doc = json.load(open(path))
+    with open(path) as fh:
+        doc = json.load(fh)
     doc["payload"]["value"] = 2  # hash no longer matches
     with open(path, "w") as fh:
         json.dump(doc, fh)

@@ -92,3 +92,68 @@ def test_property_allocations_disjoint_and_ordered(sizes):
     for earlier, later in zip(regions, regions[1:]):
         assert earlier.end <= later.base
     assert alloc.allocated_bytes == sum(r.size for r in regions)
+
+
+# -- boundary cases -----------------------------------------------------------
+
+def test_exact_fit_fills_domain_to_the_byte():
+    capacity = 1 << NUMA_DOMAIN_SHIFT
+    alloc = DomainAllocator(0)
+    region = alloc.alloc(capacity, "everything")
+    assert region.size == capacity
+    assert alloc.allocated_bytes == capacity
+    # The domain is now full: even one more line must fail.
+    with pytest.raises(MemoryError):
+        alloc.alloc(1, "straw")
+
+
+def test_failed_allocation_leaves_state_unchanged():
+    capacity = 1 << NUMA_DOMAIN_SHIFT
+    alloc = DomainAllocator(0)
+    alloc.alloc(capacity - CACHE_LINE, "bulk")
+    before = alloc.allocated_bytes
+    with pytest.raises(MemoryError):
+        alloc.alloc(2 * CACHE_LINE, "too-big")
+    assert alloc.allocated_bytes == before
+    assert len(alloc.regions) == 1
+    # The remaining line is still allocatable after the failure.
+    last = alloc.alloc(CACHE_LINE, "last-line")
+    assert last.end == capacity
+
+
+@pytest.mark.parametrize("size,rounded", [
+    (1, CACHE_LINE),
+    (CACHE_LINE - 1, CACHE_LINE),
+    (CACHE_LINE, CACHE_LINE),
+    (CACHE_LINE + 1, 2 * CACHE_LINE),
+    (2 * CACHE_LINE - 1, 2 * CACHE_LINE),
+    (2 * CACHE_LINE, 2 * CACHE_LINE),
+])
+def test_alignment_rounding_edges(size, rounded):
+    alloc = DomainAllocator(0)
+    # An odd-sized allocation first, so the next base would be unaligned
+    # if rounding ever failed to keep the bump pointer on a line.
+    alloc.alloc(1, "pad")
+    region = alloc.alloc(size, "probe")
+    assert region.size == rounded
+    assert region.base % CACHE_LINE == 0
+    assert region.end % CACHE_LINE == 0
+
+
+def test_domain_boundary_addresses():
+    boundary = 1 << NUMA_DOMAIN_SHIFT
+    assert domain_of_address(boundary - 1) == 0
+    assert domain_of_address(boundary) == 1
+    assert domain_of_line((boundary >> 6) - 1) == 0
+    assert domain_of_line(boundary >> 6) == 1
+
+
+def test_allocations_never_cross_their_domain_boundary():
+    space = AddressSpace(2)
+    r0 = space.alloc((1 << NUMA_DOMAIN_SHIFT) - CACHE_LINE, "fill0", domain=0)
+    r1 = space.alloc(64, "d1", domain=1)
+    assert domain_of_address(r0.end - 1) == 0
+    assert domain_of_address(r1.base) == 1
+    # Domain 0's last line and domain 1's first allocation are adjacent
+    # in the flat address space but never overlap.
+    assert not r0.overlaps(r1)

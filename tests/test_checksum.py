@@ -83,3 +83,51 @@ def test_incremental_rejects_bad_inputs():
         incremental_update16(0, -1, 0)
     with pytest.raises(ValueError):
         incremental_update16(0, 0, 0x1FFFF)
+
+
+# -- boundary cases -----------------------------------------------------------
+
+def test_empty_data():
+    # Empty sum is 0; the complement is all-ones. Nothing to verify.
+    assert internet_checksum(b"") == 0xFFFF
+    assert not verify_checksum(b"")
+
+
+@pytest.mark.parametrize("n", [2, 4, 20, 63, 64])
+def test_all_zero_words(n):
+    # Zero data sums to zero regardless of length; complement is 0xFFFF.
+    assert internet_checksum(b"\x00" * n) == 0xFFFF
+
+
+@pytest.mark.parametrize("n", [2, 4, 20, 64])
+def test_all_ones_words(n):
+    # Each 0xFFFF word folds back to 0xFFFF; the complement is zero —
+    # and all-ones data therefore verifies as its own checksum.
+    assert internet_checksum(b"\xff" * n) == 0x0000
+    assert verify_checksum(b"\xff" * n)
+
+
+@pytest.mark.parametrize("n", [1, 3, 5, 19, 63])
+def test_odd_lengths_equal_explicit_zero_pad(n):
+    data = bytes(range(1, n + 1))
+    assert internet_checksum(data) == internet_checksum(data + b"\x00")
+    csum = internet_checksum(data)
+    # Odd-length verify uses the same implicit pad.
+    assert verify_checksum(data + b"\x00" + csum.to_bytes(2, "big"))
+
+
+def test_incremental_noop_update_preserves_checksum():
+    checksum = internet_checksum(bytes([64, 17, 0xAB, 0xCD]))
+    for word in (0x0000, 0x0001, 0x8000, 0xFFFF):
+        updated = incremental_update16(checksum, word, word)
+        # One's complement has two zeros (0x0000 == 0xFFFF, RFC 1624 §3).
+        assert updated == checksum or {updated, checksum} == {0, 0xFFFF}
+
+
+def test_incremental_extreme_word_swap_matches_recompute():
+    # 0x0000 <-> 0xFFFF transitions hit both ends of the fold.
+    data = bytes([0x00, 0x00, 0x12, 0x34])
+    checksum = internet_checksum(data)
+    updated = incremental_update16(checksum, 0x0000, 0xFFFF)
+    recomputed = internet_checksum(bytes([0xFF, 0xFF, 0x12, 0x34]))
+    assert updated == recomputed or {updated, recomputed} == {0, 0xFFFF}

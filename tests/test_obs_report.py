@@ -85,7 +85,8 @@ def test_chrome_trace_round_trip(tmp_path):
     tracer = Tracer(ChromeTraceSink(str(path)), packet_sample=4)
     _run(tracer=tracer)
     tracer.close()
-    doc = json.load(open(path))
+    with open(path) as fh:
+        doc = json.load(fh)
     events = doc["traceEvents"]
     assert events
     phases = {e["ph"] for e in events}
@@ -166,7 +167,8 @@ def test_cli_trace_writes_chrome_file(tmp_path, capsys):
     rc = profile_main(["IP", "--trace", str(path), "--trace-sample", "8"]
                       + CLI_ARGS)
     assert rc == 0
-    doc = json.load(open(path))
+    with open(path) as fh:
+        doc = json.load(fh)
     assert doc["traceEvents"]
     err = capsys.readouterr().err
     assert str(path) in err
