@@ -90,6 +90,10 @@ class _CheckProbe:
     deadline schedule at the checker's interval.
     """
 
+    #: Lets :func:`repro.hw.machine.unwrap_probes` peel probe stacks
+    #: (e.g. an SLO-guard probe stacked on top of this one).
+    is_metrics_probe = True
+
     def __init__(self, checker: "InvariantChecker", inner=None):
         self._checker = checker
         self._inner = inner
@@ -176,8 +180,14 @@ class InvariantChecker:
 
     @staticmethod
     def unwrap(sampler):
-        """The real metrics sampler behind a probe (or the sampler itself)."""
-        return sampler.inner if isinstance(sampler, _CheckProbe) else sampler
+        """The real metrics sampler behind a probe (or the sampler itself).
+
+        Probe-generic: peels any stack of metrics probes (this checker's,
+        the SLO guard's), not just a single ``_CheckProbe``.
+        """
+        from ..hw.machine import unwrap_probes
+
+        return unwrap_probes(sampler)
 
     def _begin_run(self, machine) -> None:
         self._tracks = [_FlowTrack() for _ in machine.flows]
@@ -364,6 +374,46 @@ class InvariantChecker:
                     "trigger-state", fr.label,
                     f"triggered={flow.triggered} but packets="
                     f"{flow.packets} vs trigger={flow.trigger_packets}")
+        self.check_guard_state(fr)
+
+    def check_guard_state(self, fr) -> None:
+        """Sanity of throttle/guard control state on wrapper flows.
+
+        Throttle loops must never produce a negative inserted gap or a
+        negative adjustment count; guard-controllable flows additionally
+        keep their escalation bookkeeping consistent (an active throttle
+        limit implies the supervisor reached at least the first
+        tightening rung — rung 2 of the warn→tighten→quarantine ladder).
+        """
+        flow = fr.flow
+        if hasattr(flow, "extra_gap"):
+            if flow.extra_gap < 0:
+                self._report(
+                    "guard-state", fr.label,
+                    f"negative throttle gap {flow.extra_gap!r}")
+            if getattr(flow, "adjustments", 0) < 0:
+                self._report(
+                    "guard-state", fr.label,
+                    f"negative adjustment count {flow.adjustments!r}")
+        if not getattr(flow, "guard_controllable", False):
+            return
+        limit = flow.limit_refs_per_sec
+        if limit is not None and limit <= 0:
+            self._report(
+                "guard-state", fr.label,
+                f"non-positive throttle limit {limit!r}")
+        if flow.rung < 0:
+            self._report(
+                "guard-state", fr.label, f"negative rung {flow.rung!r}")
+        if flow.suspended_until < 0:
+            self._report(
+                "guard-state", fr.label,
+                f"negative suspension deadline {flow.suspended_until!r}")
+        if limit is not None and flow.rung < 2:
+            self._report(
+                "guard-state", fr.label,
+                f"throttle limit {limit!r} set but rung={flow.rung} "
+                "(ladder never passed the tighten rung)")
 
     # -- cache checks -------------------------------------------------------
 

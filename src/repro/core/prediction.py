@@ -63,6 +63,30 @@ class SensitivityCurve:
             raise ValueError("competition cannot be negative")
         return float(np.interp(competing_refs_per_sec, self.refs, self.drops))
 
+    def max_competition(self, max_drop: float) -> Optional[float]:
+        """Largest competing refs/sec whose predicted drop stays ≤ ``max_drop``.
+
+        The inverse lookup the guard's admission controller uses to turn
+        an SLO into a *competition budget*: the first crossing of
+        ``max_drop`` on the interpolated curve. Returns ``None`` when the
+        curve never exceeds ``max_drop`` (any competition is tolerable —
+        at least within the swept range; beyond it the flat-tail clamp
+        keeps the prediction an over-estimate).
+        """
+        if max_drop < 0:
+            raise ValueError("max_drop cannot be negative")
+        refs, drops = self.refs, self.drops
+        for i in range(len(refs)):
+            if drops[i] > max_drop:
+                if i == 0:
+                    return float(refs[0])
+                span = drops[i] - drops[i - 1]
+                if span <= 0:
+                    return float(refs[i])
+                t = (max_drop - drops[i - 1]) / span
+                return float(refs[i - 1] + t * (refs[i] - refs[i - 1]))
+        return None
+
     def turning_point(self, fraction: float = 0.8) -> float:
         """Competing refs/sec at which the drop reaches ``fraction`` of its max.
 

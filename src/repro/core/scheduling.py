@@ -51,6 +51,43 @@ def enumerate_splits(flows: Sequence[str], per_socket: int) -> List[Split]:
     return out
 
 
+def enumerate_partitions(flows: Sequence[str], n_groups: int,
+                         group_size: int) -> List[Tuple[Tuple[str, ...], ...]]:
+    """Distinct unordered partitions of ``flows`` into equal-size groups.
+
+    Generalizes :func:`enumerate_splits` to ``n_groups`` sockets (the
+    guard's admission controller enumerates alternative placements when
+    a proposed mix is rejected). ``flows`` need not fill every socket —
+    partially-filled groups are fine — but must fit:
+    ``len(flows) <= n_groups * group_size``.
+    """
+    flows = list(flows)
+    if len(flows) > n_groups * group_size:
+        raise ValueError(
+            f"{len(flows)} flows cannot fit {n_groups} groups of "
+            f"{group_size}")
+    seen: Set[Tuple[Tuple[str, ...], ...]] = set()
+    out: List[Tuple[Tuple[str, ...], ...]] = []
+
+    def assign(remaining: List[str], groups: List[List[str]]) -> None:
+        if not remaining:
+            key = tuple(sorted(tuple(sorted(g)) for g in groups))
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+            return
+        flow, rest = remaining[0], remaining[1:]
+        for group in groups:
+            if len(group) >= group_size:
+                continue
+            group.append(flow)
+            assign(rest, groups)
+            group.pop()
+
+    assign(flows, [[] for _ in range(n_groups)])
+    return out
+
+
 @dataclass
 class PlacementOutcome:
     """Evaluation of one split."""

@@ -12,6 +12,8 @@ flow's live simulated counters). :class:`TwoFacedFlow` is the adversary.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 from ..mem.access import AccessContext
 
 
@@ -21,6 +23,10 @@ class ThrottledFlow:
     #: The throttle loop reads live counters during generation, so its
     #: packet stream cannot be pregenerated (batch engine runs it live).
     timing_pure = False
+    #: Never cached: the closed loop makes the stream feedback-dependent,
+    #: and the batch engine's skeleton cache must not alias the wrapper
+    #: with its (possibly cacheable) inner flow.
+    stream_signature = None
 
     def __init__(self, inner, target_refs_per_sec: float,
                  adjust_every: int = 32, gain: float = 0.6):
@@ -37,6 +43,7 @@ class ThrottledFlow:
         self.extra_gap = 0.0
         self.adjustments = 0
         self._count = 0
+        self._last_count = 0
         self._last_refs = 0
         self._last_clock = 0.0
         self._fr = None
@@ -58,20 +65,21 @@ class ThrottledFlow:
         dma = self.inner.run_packet(ctx)
         self._count += 1
         if self._fr is not None and self._count % self.adjust_every == 0:
-            self._adjust()
+            self._adjust(self.adjust_every)
         return dma
 
-    def _adjust(self) -> None:
+    def _adjust(self, span: int) -> None:
         fr = self._fr
         d_refs = fr.counters.l3_refs - self._last_refs
         d_clock = fr.clock - self._last_clock
         self._last_refs = fr.counters.l3_refs
         self._last_clock = fr.clock
-        if d_clock <= 0:
+        self._last_count = self._count
+        if d_clock <= 0 or span <= 0:
             return
         rate = d_refs * self._freq / d_clock
         error = (rate - self.target_refs_per_sec) / self.target_refs_per_sec
-        cycles_per_packet = d_clock / self.adjust_every
+        cycles_per_packet = d_clock / span
         if error > 0:
             self.extra_gap += self.gain * error * cycles_per_packet
         else:
@@ -80,6 +88,32 @@ class ThrottledFlow:
                 self.extra_gap + 0.25 * self.gain * error * cycles_per_packet,
             )
         self.adjustments += 1
+
+    def finish_run(self) -> None:
+        """End-of-run flush over the final partial adjust window.
+
+        With ``adjust_every`` larger than the packets actually run the
+        periodic loop never fires: the flow finishes with ``extra_gap``
+        still 0 and no signal that the throttle never engaged. Both
+        engines call this hook after the measurement snapshots close, so
+        the control loop sees every run at least once (``stats()``
+        surfaces ``engaged`` either way).
+        """
+        if self._fr is not None and self._count > self._last_count:
+            self._adjust(self._count - self._last_count)
+        hook = getattr(self.inner, "finish_run", None)
+        if hook is not None:
+            hook()
+
+    def stats(self) -> Dict[str, Any]:
+        """Throttle-loop statistics (``engaged`` flags a dead loop)."""
+        return {
+            "target_refs_per_sec": self.target_refs_per_sec,
+            "extra_gap": self.extra_gap,
+            "adjustments": self.adjustments,
+            "packets": self._count,
+            "engaged": self.adjustments > 0,
+        }
 
 
 class TwoFacedFlow:

@@ -45,6 +45,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import List
 
+from ..hw.machine import unwrap_probes
 from .streams import BATCH_PACKETS, StreamSupplier, StubFlow, is_timing_pure
 
 
@@ -466,6 +467,10 @@ def run_batch(machine, warmup_packets: int = 200,
         # packet boundaries through the sampler protocol, at identical
         # points of the global interleaving.
         checker.install(machine)
+    guard = machine.guard
+    if guard is not None:
+        # Guard probe stacks outermost, exactly like the scalar engine.
+        guard.install(machine)
     tracer = machine.tracer
     trace_on = tracer.active
     sampler = machine.metrics
@@ -545,13 +550,22 @@ def run_batch(machine, warmup_packets: int = 200,
         if fr.snap_start is not None and fr.snap_end is None:
             fr.counters.cycles = fr.clock
             fr.snap_end = fr.counters.copy()
+    # End-of-run flush for closed control loops — the scalar engine runs
+    # the same hook at this exact point. StubFlow carries ``finish_run =
+    # None`` as a class attribute so cached skeletons are not
+    # materialized just to be asked.
+    for fr in flows:
+        hook = getattr(fr.flow, "finish_run", None)
+        if hook is not None:
+            hook()
     if metrics_on:
         sampler.finish(flows)
     if trace_on:
         tracer.end_run(end_clock, ev[0])
     result = RunResult(machine.spec, flows, ev[0], end_clock,
-                       metrics=sampler if checker is None
-                       else checker.unwrap(sampler))
+                       metrics=unwrap_probes(sampler))
     if checker is not None:
         checker.after_run(machine, result)
+    if guard is not None:
+        guard.after_run(machine, result)
     return result

@@ -377,6 +377,10 @@ class StubFlow:
     #: Machine.add_flow probes this generically; the stub has no run
     #: state to bind (materialize() forwards the hook to the real flow).
     attach_run = None
+    #: The engines' end-of-run flush probes this generically too; a
+    #: cached skeleton has no control loop to flush, and the class
+    #: attribute keeps the probe from materializing it.
+    finish_run = None
 
     _OWN = frozenset({
         "_factory", "_meta", "_regions", "_seed", "_core", "_domain",

@@ -1,0 +1,241 @@
+"""Predictive admission control: admit a mix only if every SLO holds.
+
+Before a flow mix runs, the :class:`AdmissionController` predicts each
+flow's drop with the paper's Section 4 apparatus (solo refs/sec of its
+same-socket competitors → the flow's sensitivity curve) and compares it
+to the flow's declared SLO. The mix is admitted only when every flow
+keeps non-negative *predicted headroom* (``slo - predicted drop``).
+
+A rejection is actionable: the decision carries per-flow headroom plus
+counter-proposals —
+
+* **placement**: alternative socket assignments (via
+  :func:`~repro.core.scheduling.enumerate_partitions`) under which every
+  prediction fits, ranked by worst-case headroom;
+* **throttle**: per-competitor refs/sec targets obtained by inverting
+  the violated victims' sensitivity curves
+  (:meth:`~repro.core.prediction.SensitivityCurve.max_competition`) —
+  "this mix fits if the competitors are throttled to these rates".
+
+Prediction deliberately over-estimates competition (competitors slow
+down under contention), so an admitted mix errs on the safe side; the
+runtime supervisor (:mod:`.supervisor`) catches the residual error and
+two-faced flows that lie about their profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.scheduling import enumerate_partitions
+
+#: Cap on enumerated alternative placements in one rejection.
+MAX_PLACEMENT_PROPOSALS = 3
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """One flow of a proposed mix: what it is, where, and its SLO."""
+
+    app: str
+    core: int
+    slo: Optional[float] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ValueError("core cannot be negative")
+        if self.slo is not None and not 0.0 <= self.slo < 1.0:
+            raise ValueError(f"SLO must be in [0, 1), got {self.slo!r}")
+
+    @property
+    def name(self) -> str:
+        return self.label if self.label is not None \
+            else f"{self.app}@{self.core}"
+
+
+@dataclass
+class AdmissionDecision:
+    """The controller's verdict on one proposed mix."""
+
+    admitted: bool
+    #: Per-flow rows: label/app/core/socket/slo/predicted_drop/headroom/ok.
+    flows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Counter-proposals when rejected (placement and/or throttle kinds).
+    proposals: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"admitted": self.admitted,
+                "flows": [dict(row) for row in self.flows],
+                "proposals": [dict(p) for p in self.proposals]}
+
+    def describe(self) -> str:
+        lines = ["mix admitted" if self.admitted else "mix REJECTED"]
+        for row in self.flows:
+            slo = row["slo"]
+            if slo is None:
+                lines.append(f"  {row['label']}: no SLO "
+                             f"(predicted drop {row['predicted_drop']:.1%})")
+                continue
+            verdict = "ok" if row["ok"] else "VIOLATES"
+            lines.append(
+                f"  {row['label']}: predicted drop "
+                f"{row['predicted_drop']:.1%} vs SLO {slo:.1%} "
+                f"(headroom {row['headroom']:+.1%}) {verdict}")
+        for prop in self.proposals:
+            if prop["kind"] == "placement":
+                groups = " | ".join("+".join(g)
+                                    for g in prop["assignment"])
+                lines.append(f"  proposal: place {groups} "
+                             f"(min headroom {prop['min_headroom']:+.1%})")
+            elif prop["kind"] == "throttle":
+                targets = ", ".join(
+                    f"{name}→{rate:.3g} refs/s"
+                    for name, rate in sorted(prop["targets"].items()))
+                lines.append(f"  proposal: throttle {targets} "
+                             f"(scale ×{prop['scale']:.2f})")
+        return "\n".join(lines)
+
+
+class AdmissionController:
+    """Predict-then-admit gate over a :class:`ContentionPredictor`."""
+
+    def __init__(self, predictor, spec):
+        self.predictor = predictor
+        self.spec = spec
+
+    # -- core check ----------------------------------------------------------
+
+    def _predict_rows(self, requests: Sequence[FlowRequest]
+                      ) -> List[Dict[str, Any]]:
+        rows: List[Dict[str, Any]] = []
+        for req in requests:
+            socket = self.spec.socket_of(req.core)
+            competitors = [r.app for r in requests
+                           if r is not req
+                           and self.spec.socket_of(r.core) == socket]
+            predicted = self.predictor.predict_drop(req.app, competitors)
+            headroom = None if req.slo is None else req.slo - predicted
+            rows.append({
+                "label": req.name,
+                "app": req.app,
+                "core": req.core,
+                "socket": socket,
+                "slo": req.slo,
+                "predicted_drop": predicted,
+                "headroom": headroom,
+                "ok": headroom is None or headroom >= 0.0,
+            })
+        return rows
+
+    def evaluate(self, requests: Sequence[FlowRequest]
+                 ) -> AdmissionDecision:
+        """Admit or reject ``requests``; rejections carry proposals."""
+        requests = list(requests)
+        if not requests:
+            raise ValueError("cannot evaluate an empty mix")
+        cores = [r.core for r in requests]
+        if len(set(cores)) != len(cores):
+            raise ValueError("two flows mapped to the same core")
+        for req in requests:
+            if req.core >= self.spec.total_cores:
+                raise ValueError(
+                    f"core {req.core} outside the platform "
+                    f"({self.spec.total_cores} cores)")
+        rows = self._predict_rows(requests)
+        admitted = all(row["ok"] for row in rows)
+        decision = AdmissionDecision(admitted=admitted, flows=rows)
+        if not admitted:
+            decision.proposals = self._propose(requests, rows)
+        return decision
+
+    # -- counter-proposals ---------------------------------------------------
+
+    def _propose(self, requests: Sequence[FlowRequest],
+                 rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        proposals: List[Dict[str, Any]] = []
+        proposals.extend(self._placement_proposals(requests))
+        throttle = self._throttle_proposal(requests, rows)
+        if throttle is not None:
+            proposals.append(throttle)
+        return proposals
+
+    def _placement_proposals(self, requests: Sequence[FlowRequest]
+                             ) -> List[Dict[str, Any]]:
+        """Feasible alternative socket assignments, best headroom first."""
+        spec = self.spec
+        if spec.n_sockets < 2:
+            return []
+        by_name = {req.name: req for req in requests}
+        candidates: List[Dict[str, Any]] = []
+        for groups in enumerate_partitions(
+                sorted(by_name), spec.n_sockets, spec.cores_per_socket):
+            worst: Optional[float] = None
+            feasible = True
+            for group in groups:
+                apps = [by_name[name].app for name in group]
+                for name in group:
+                    req = by_name[name]
+                    competitors = list(apps)
+                    competitors.remove(req.app)
+                    predicted = self.predictor.predict_drop(
+                        req.app, competitors)
+                    if req.slo is None:
+                        continue
+                    headroom = req.slo - predicted
+                    if headroom < 0:
+                        feasible = False
+                        break
+                    if worst is None or headroom < worst:
+                        worst = headroom
+                if not feasible:
+                    break
+            if feasible:
+                candidates.append({
+                    "kind": "placement",
+                    "assignment": [list(g) for g in groups],
+                    "min_headroom": worst if worst is not None else 1.0,
+                })
+        candidates.sort(key=lambda p: -p["min_headroom"])
+        return candidates[:MAX_PLACEMENT_PROPOSALS]
+
+    def _throttle_proposal(self, requests: Sequence[FlowRequest],
+                           rows: Sequence[Dict[str, Any]]
+                           ) -> Optional[Dict[str, Any]]:
+        """Scale competitors' refs/sec until every violated SLO fits."""
+        scale: Optional[float] = None
+        for row in rows:
+            if row["ok"]:
+                continue
+            curve = self.predictor.curves[row["app"]]
+            budget = curve.max_competition(row["slo"])
+            socket = row["socket"]
+            competing = self.predictor.competing_refs([
+                r.app for r in requests
+                if r.name != row["label"]
+                and self.spec.socket_of(r.core) == socket])
+            if competing <= 0:
+                # The prediction violates with zero competition: no
+                # amount of throttling of others can help.
+                return None
+            if budget is None:
+                continue
+            needed = budget / competing
+            if scale is None or needed < scale:
+                scale = needed
+        if scale is None or scale >= 1.0:
+            return None
+        targets: Dict[str, float] = {}
+        victims = {row["label"] for row in rows if not row["ok"]}
+        sockets_hit = {row["socket"] for row in rows if not row["ok"]}
+        for req in requests:
+            if req.name in victims:
+                continue
+            if self.spec.socket_of(req.core) not in sockets_hit:
+                continue
+            solo = self.predictor.profiles[req.app].l3_refs_per_sec
+            targets[req.name] = solo * scale
+        if not targets:
+            return None
+        return {"kind": "throttle", "scale": scale, "targets": targets}

@@ -1,0 +1,65 @@
+"""SLO declarations: what a flow owner promises to tolerate.
+
+An SLO here is the paper's unit of predictability: the maximum
+performance drop (relative to the flow's solo throughput) the owner
+accepts in production. Admission control checks *predicted* drops
+against it; the runtime supervisor checks *measured* drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+#: Schema identifier of the guard payload embedded in ``kind="guard"``
+#: run reports (the ``results.schema`` key).
+GUARD_SCHEMA = "repro.guard_report/1"
+
+
+@dataclass(frozen=True)
+class FlowSLO:
+    """One flow's declared service-level objective.
+
+    ``max_drop`` is a fraction of solo throughput in ``[0, 1)``: 0.10
+    means "this flow must keep at least 90% of its solo packets/sec".
+    """
+
+    label: str
+    max_drop: float
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("SLO needs a flow label")
+        if not 0.0 <= self.max_drop < 1.0:
+            raise ValueError(
+                f"max_drop must be in [0, 1), got {self.max_drop!r}")
+
+
+def parse_slo(text: str) -> FlowSLO:
+    """Parse a CLI SLO spec: ``LABEL=FRACTION`` (e.g. ``IP@0=0.10``)."""
+    label, sep, frac = text.partition("=")
+    if not sep or not label:
+        raise ValueError(
+            f"invalid SLO spec {text!r}; expected LABEL=FRACTION")
+    try:
+        max_drop = float(frac)
+    except ValueError:
+        raise ValueError(
+            f"invalid SLO fraction in {text!r}: {frac!r}") from None
+    return FlowSLO(label=label, max_drop=max_drop)
+
+
+def slo_map(slos) -> Dict[str, float]:
+    """``{label: max_drop}`` from FlowSLOs, pairs, or an existing map."""
+    out: Dict[str, float] = {}
+    if isinstance(slos, dict):
+        items: Tuple = tuple(slos.items())
+    else:
+        items = tuple(slos)
+    for item in items:
+        if isinstance(item, FlowSLO):
+            out[item.label] = item.max_drop
+        else:
+            label, max_drop = item
+            out[FlowSLO(label, float(max_drop)).label] = float(max_drop)
+    return out

@@ -147,13 +147,57 @@ class RunResult:
         return report
 
 
+def unwrap_probes(sampler):
+    """Peel stacked metrics probes down to the real sampler (or None).
+
+    Probes (the invariant checker's, the SLO guard's) wrap the machine's
+    sampler while implementing the same protocol, and mark themselves
+    with ``is_metrics_probe``. Results should expose the underlying
+    sampler, whatever got stacked on top and in which order.
+    """
+    while getattr(sampler, "is_metrics_probe", False):
+        sampler = sampler.inner
+    return sampler
+
+
+def _audit_wrapper_identity(flow) -> None:
+    """Reject wrapper flows that alias their wrapped flow's identity.
+
+    The batch engine keys its skeleton/stream cache on ``name`` and
+    ``stream_signature``; a wrapper (throttle, two-faced composite,
+    guard) that passes either through unchanged could be cached under —
+    and later served as — its inner flow, silently dropping the wrapper
+    behaviour. Wrappers must either derive a distinct identity or
+    declare ``stream_signature = None`` (never cached).
+    """
+    inners = [inner for inner in (getattr(flow, "inner", None),
+                                  getattr(flow, "innocent", None),
+                                  getattr(flow, "aggressive", None))
+              if inner is not None and hasattr(inner, "run_packet")]
+    if not inners:
+        return
+    sig = getattr(flow, "stream_signature", None)
+    name = getattr(flow, "name", None)
+    for inner in inners:
+        if sig is not None and sig == getattr(inner, "stream_signature",
+                                              None):
+            raise ValueError(
+                f"wrapper flow {name!r} reuses the stream signature of "
+                f"its wrapped flow {getattr(inner, 'name', '?')!r}; the "
+                "batch engine would alias their cached streams")
+        if name is not None and name == getattr(inner, "name", None):
+            raise ValueError(
+                f"wrapper flow reuses its wrapped flow's name {name!r}; "
+                "labels derived from it could not tell them apart")
+
+
 class Machine:
     """One simulated server. Build it, add flows, call :meth:`run` once."""
 
     def __init__(self, spec: Optional[PlatformSpec] = None, seed: int = DEFAULT_SEED,
                  record_latencies: bool = False,
                  tracer: Optional[Tracer] = None, metrics=None,
-                 checker=None):
+                 checker=None, guard=None):
         self.spec = spec if spec is not None else PlatformSpec.westmere()
         self.seed = seed
         self.record_latencies = record_latencies
@@ -173,6 +217,10 @@ class Machine:
         #: runs the full machine-wide audit at end of run. Both engines
         #: honour it at identical points of the interleaving.
         self.checker = checker
+        #: Optional ``repro.guard.SLOGuard``: observes per-flow windows
+        #: through the same sampler protocol (stacked outside the
+        #: checker's probe) and steers guarded flows' throttles.
+        self.guard = guard
         self.space = AddressSpace(self.spec.n_sockets)
         self.l3 = [
             SetAssociativeCache(self.spec.l3_size, self.spec.l3_ways, f"L3.{s}")
@@ -257,6 +305,10 @@ class Machine:
                 for d in range(self.spec.n_sockets)
             }
             flow = factory(env)
+            # Audit on the construction path only: probing a cached
+            # skeleton's attributes would materialize it (a skeleton's
+            # identity was already audited when its stream was recorded).
+            _audit_wrapper_identity(flow)
             regions = []
             for d in range(self.spec.n_sockets):
                 regions.extend(self.space.domain(d).regions[marks[d]:])
@@ -401,6 +453,11 @@ class Machine:
             # the same sampler protocol, so the hot loop below needs no
             # extra branches to feed it.
             checker.install(self)
+        guard = self.guard
+        if guard is not None:
+            # Same probe-stacking trick, outermost: the guard sees every
+            # window first, then forwards to the checker/sampler below.
+            guard.install(self)
         tracer = self.tracer
         trace_on = tracer.active
         sampler = self.metrics
@@ -588,13 +645,22 @@ class Machine:
             if fr.snap_start is not None and fr.snap_end is None:
                 fr.counters.cycles = fr.clock
                 fr.snap_end = fr.counters.copy()
+        # End-of-run flush for flows with closed control loops (e.g.
+        # throttles whose adjust window never filled): runs after the
+        # measurement snapshots close, at the identical point in both
+        # engines, so it never perturbs reported statistics.
+        for fr in flows:
+            hook = getattr(fr.flow, "finish_run", None)
+            if hook is not None:
+                hook()
         if metrics_on:
             sampler.finish(flows)
         if trace_on:
             tracer.end_run(end_clock, events)
         result = RunResult(self.spec, flows, events, end_clock,
-                           metrics=sampler if checker is None
-                           else checker.unwrap(sampler))
+                           metrics=unwrap_probes(sampler))
         if checker is not None:
             checker.after_run(self, result)
+        if guard is not None:
+            guard.after_run(self, result)
         return result

@@ -21,6 +21,7 @@ machines internally (profilers, sweeps, studies), or pass ``tracer=`` /
 """
 
 from .trace import (
+    KIND_GUARD,
     KIND_MEM,
     KIND_META,
     KIND_PACKET,
@@ -47,6 +48,7 @@ from .recorder import BenchRecorder, load_record
 from .session import ObsSession, current_session, observe
 
 __all__ = [
+    "KIND_GUARD",
     "KIND_MEM",
     "KIND_META",
     "KIND_PACKET",

@@ -30,6 +30,7 @@ KIND_META = "meta"      #: run begin/end metadata (flows, platform, freq)
 KIND_PHASE = "phase"    #: per-flow phase marker (measure_begin, measure_end)
 KIND_PACKET = "packet"  #: one completed packet span (start..end cycles)
 KIND_MEM = "mem"        #: sampled memory-system event (L3 miss / MC wait)
+KIND_GUARD = "guard"    #: SLO-guard action (warn/tighten/quarantine/restore)
 
 
 class TraceEvent:
@@ -220,6 +221,15 @@ class Tracer:
             flow=self._flow_labels[flow_index],
             core=self._flow_cores[flow_index],
             args={"mc_wait": wait, "domain": domain, "remote": remote},
+        ))
+
+    def guard(self, flow_index: int, ts: float, action: str,
+              **args: Any) -> None:
+        """One SLO-guard event (violation, escalation rung, recovery)."""
+        self.sink.emit(TraceEvent(
+            ts, KIND_GUARD, action, self._run_id,
+            flow=self._flow_labels[flow_index],
+            core=self._flow_cores[flow_index], args=args,
         ))
 
     def end_run(self, end_clock: float, events: int) -> None:

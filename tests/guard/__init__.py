@@ -1,0 +1,1 @@
+"""SLO-guard suite: admission, escalation ladder, containment, fuzz."""

@@ -1,0 +1,35 @@
+"""Deterministic builders for the guard's golden containment reports.
+
+One seed-pinned two-faced scenario is run twice — guarded (the
+escalation ladder enforces) and unguarded (monitor only) — sharing a
+single offline profiling pass. The resulting ``kind="guard"`` RunReport
+documents are committed next to this module and asserted byte-stable by
+``test_containment.py``. Regenerate deliberately with::
+
+    PYTHONPATH=src python tests/guard/regen.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.guard.demo import DemoConfig, build_demo_predictor, run_demo
+
+GOLDEN_NAMES = ("demo_guarded", "demo_unguarded")
+
+
+def build_runs() -> Dict[str, Tuple]:
+    """name -> ``(decision, guard, result, report)`` for both demo runs."""
+    guarded_config = DemoConfig(guarded=True)
+    predictor = build_demo_predictor(guarded_config)
+    return {
+        "demo_guarded": run_demo(guarded_config, predictor=predictor),
+        "demo_unguarded": run_demo(DemoConfig(guarded=False),
+                                   predictor=predictor),
+    }
+
+
+def build_reports() -> Dict[str, str]:
+    """name -> RunReport JSON text for both committed goldens."""
+    return {name: run[3].to_json() + "\n"
+            for name, run in build_runs().items()}

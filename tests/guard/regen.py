@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the committed guard golden reports.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/guard/regen.py [--out DIR]
+
+Rewrites ``tests/guard/golden_<name>.json`` for the guarded and
+unguarded containment-demo runs (or writes them into ``DIR``, leaving
+the committed goldens untouched). Only regenerate the committed files
+when a change *intends* to move the guard's behaviour; the diff is the
+review artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+try:
+    from . import builders
+except ImportError:  # executed as a script, not a package module
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import builders  # type: ignore[no-redef]
+
+
+def regen(out_dir: str, quiet: bool = False) -> List[str]:
+    """Write both golden reports into ``out_dir``; the paths written."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for name, text in builders.build_reports().items():
+        path = os.path.join(out_dir, f"golden_{name}.json")
+        with open(path, "w") as fh:
+            fh.write(text)
+        paths.append(path)
+        if not quiet:
+            print(f"wrote {path} ({len(text)} bytes)", file=sys.stderr)
+    return paths
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", metavar="DIR",
+        default=os.path.dirname(os.path.abspath(__file__)),
+        help="directory to write into (default: the committed goldens)")
+    args = parser.parse_args(argv)
+    regen(args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

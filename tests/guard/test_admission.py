@@ -1,0 +1,212 @@
+"""Predictive admission control: headroom, rejection, counter-proposals."""
+
+import pytest
+
+from repro.core.prediction import ContentionPredictor, SensitivityCurve
+from repro.core.profiler import SoloProfile
+from repro.core.scheduling import enumerate_partitions
+from repro.guard.admission import (
+    MAX_PLACEMENT_PROPOSALS,
+    AdmissionController,
+    AdmissionDecision,
+    FlowRequest,
+)
+from repro.hw.topology import PlatformSpec
+
+pytestmark = pytest.mark.guard
+
+
+def profile(app, refs, throughput=3e6):
+    return SoloProfile(
+        app=app, throughput=throughput, cycles_per_instruction=1.4,
+        l3_refs_per_sec=refs, l3_hits_per_sec=refs * 0.75,
+        cycles_per_packet=900, l3_refs_per_packet=6,
+        l3_misses_per_packet=1.5, l2_hits_per_packet=2,
+    )
+
+
+def make_predictor():
+    """SENS drops fast with competition; CHEAP barely reacts."""
+    profiles = {
+        "SENS": profile("SENS", refs=20e6),
+        "CHEAP": profile("CHEAP", refs=5e6),
+    }
+    curves = {
+        "SENS": SensitivityCurve("SENS", [(10e6, 0.10), (40e6, 0.40)]),
+        "CHEAP": SensitivityCurve("CHEAP", [(10e6, 0.01), (40e6, 0.04)]),
+    }
+    return ContentionPredictor(profiles=profiles, curves=curves)
+
+
+def controller():
+    return AdmissionController(make_predictor(), PlatformSpec.westmere())
+
+
+def test_admits_when_every_slo_has_headroom():
+    ctl = controller()
+    # CHEAP competes with 5e6 refs/s -> SENS predicted drop 5%.
+    decision = ctl.evaluate([
+        FlowRequest("SENS", 0, slo=0.10),
+        FlowRequest("CHEAP", 1),
+    ])
+    assert decision.admitted
+    row = decision.flows[0]
+    assert row["label"] == "SENS@0"
+    assert row["predicted_drop"] == pytest.approx(0.05)
+    assert row["headroom"] == pytest.approx(0.05)
+    assert row["ok"]
+    # Flows without an SLO report their prediction but cannot veto.
+    assert decision.flows[1]["slo"] is None
+    assert decision.flows[1]["headroom"] is None
+    assert decision.proposals == []
+    assert "mix admitted" in decision.describe()
+
+
+def test_only_same_socket_competitors_count():
+    ctl = controller()
+    spec = ctl.spec
+    other_socket = spec.cores_per_socket  # first core of socket 1
+    decision = ctl.evaluate([
+        FlowRequest("SENS", 0, slo=0.02),
+        FlowRequest("SENS", other_socket),
+    ])
+    # Cross-socket: zero L3 competition, zero predicted drop.
+    assert decision.admitted
+    assert decision.flows[0]["predicted_drop"] == pytest.approx(0.0)
+
+
+def test_rejects_and_reports_negative_headroom():
+    ctl = controller()
+    decision = ctl.evaluate([
+        FlowRequest("SENS", 0, slo=0.10),
+        FlowRequest("SENS", 1),  # 20e6 competing -> 20% predicted drop
+    ])
+    assert not decision.admitted
+    row = decision.flows[0]
+    assert row["predicted_drop"] == pytest.approx(0.20)
+    assert row["headroom"] == pytest.approx(-0.10)
+    assert not row["ok"]
+    assert "REJECTED" in decision.describe()
+
+
+def test_rejection_proposes_feasible_placement():
+    ctl = controller()
+    decision = ctl.evaluate([
+        FlowRequest("SENS", 0, slo=0.10),
+        FlowRequest("SENS", 1),
+    ])
+    placements = [p for p in decision.proposals
+                  if p["kind"] == "placement"]
+    assert placements, "expected an alternative-placement proposal"
+    assert len(placements) <= MAX_PLACEMENT_PROPOSALS
+    best = placements[0]
+    # Splitting the two SENS flows across sockets removes the violation.
+    groups = [set(g) for g in best["assignment"]]
+    assert {"SENS@0"} in groups and {"SENS@1"} in groups
+    assert best["min_headroom"] >= 0.0
+    # Ranked best headroom first.
+    heads = [p["min_headroom"] for p in placements]
+    assert heads == sorted(heads, reverse=True)
+    assert "proposal: place" in decision.describe()
+
+
+def test_rejection_proposes_throttle_targets():
+    ctl = controller()
+    decision = ctl.evaluate([
+        FlowRequest("SENS", 0, slo=0.10),
+        FlowRequest("SENS", 1),
+        FlowRequest("CHEAP", 2),
+    ])
+    assert not decision.admitted
+    throttles = [p for p in decision.proposals if p["kind"] == "throttle"]
+    assert len(throttles) == 1
+    prop = throttles[0]
+    # SENS@0's curve crosses 10% drop at 10e6 competing refs/s; the mix
+    # brings 25e6, so competitors must scale to 10/25.
+    assert prop["scale"] == pytest.approx(10e6 / 25e6)
+    # The victim itself is never throttled; both competitors are.
+    assert set(prop["targets"]) == {"SENS@1", "CHEAP@2"}
+    assert prop["targets"]["SENS@1"] == pytest.approx(20e6 * prop["scale"])
+    assert prop["targets"]["CHEAP@2"] == pytest.approx(5e6 * prop["scale"])
+    assert "proposal: throttle" in decision.describe()
+
+
+def test_no_throttle_proposal_without_competition():
+    # An SLO so tight even zero competition violates it can only happen
+    # with a curve anchored above the SLO; with a lone flow on the
+    # socket the predicted drop is 0, so craft a two-flow case where
+    # the victim's whole drop comes from an uncontrollable amount.
+    predictor = make_predictor()
+    ctl = AdmissionController(predictor, PlatformSpec.westmere())
+    decision = ctl.evaluate([
+        FlowRequest("SENS", 0, slo=0.10),
+        FlowRequest("SENS", 1, slo=0.10),
+    ])
+    # Both violate symmetrically; throttling "the others" means
+    # throttling another victim — targets exclude victims, and with no
+    # non-victim competitors no throttle proposal survives.
+    throttles = [p for p in decision.proposals if p["kind"] == "throttle"]
+    assert throttles == []
+
+
+def test_validation_rejects_bad_mixes():
+    ctl = controller()
+    with pytest.raises(ValueError):
+        ctl.evaluate([])
+    with pytest.raises(ValueError):
+        ctl.evaluate([FlowRequest("SENS", 0), FlowRequest("CHEAP", 0)])
+    with pytest.raises(ValueError):
+        ctl.evaluate([FlowRequest("SENS", ctl.spec.total_cores)])
+
+
+def test_flow_request_validation_and_naming():
+    with pytest.raises(ValueError):
+        FlowRequest("X", -1)
+    with pytest.raises(ValueError):
+        FlowRequest("X", 0, slo=1.0)
+    with pytest.raises(ValueError):
+        FlowRequest("X", 0, slo=-0.1)
+    assert FlowRequest("X", 3).name == "X@3"
+    assert FlowRequest("X", 3, label="custom").name == "custom"
+
+
+def test_decision_round_trips_to_dict():
+    decision = AdmissionDecision(
+        admitted=False,
+        flows=[{"label": "a", "slo": 0.1, "predicted_drop": 0.2,
+                "headroom": -0.1, "ok": False}],
+        proposals=[{"kind": "throttle", "scale": 0.5, "targets": {}}])
+    doc = decision.to_dict()
+    assert doc["admitted"] is False
+    assert doc["flows"][0]["label"] == "a"
+    # to_dict copies: mutating the document must not touch the decision.
+    doc["flows"][0]["label"] = "b"
+    assert decision.flows[0]["label"] == "a"
+
+
+# -- enumerate_partitions (the placement search primitive) --------------------
+
+def canon(groups):
+    return tuple(sorted(tuple(sorted(g)) for g in groups))
+
+
+def test_enumerate_partitions_covers_all_splits():
+    parts = list(enumerate_partitions(["a", "b", "c", "d"], 2, 2))
+    # 4 flows over 2 sockets of 2 cores: 3 distinct unordered splits.
+    assert len(parts) == 3
+    assert len({canon(p) for p in parts}) == 3
+    for p in parts:
+        assert sorted(x for g in p for x in g) == ["a", "b", "c", "d"]
+        assert all(len(g) <= 2 for g in p)
+
+
+def test_enumerate_partitions_allows_slack():
+    parts = list(enumerate_partitions(["a", "b"], 2, 2))
+    # With room to spare both the split and the colocated layouts appear.
+    assert any(all(len(g) <= 1 for g in p) for p in parts)
+    assert any(any(len(g) == 2 for g in p) for p in parts)
+
+
+def test_enumerate_partitions_rejects_overflow():
+    with pytest.raises(ValueError):
+        list(enumerate_partitions(["a", "b", "c"], 1, 2))

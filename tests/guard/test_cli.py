@@ -1,0 +1,72 @@
+"""The ``repro-guard`` CLI: parsing, mode selection, exit codes."""
+
+import json
+
+import pytest
+
+from repro.guard.cli import build_parser, main
+
+pytestmark = pytest.mark.guard
+
+SEED = 0x5EED
+
+
+def test_parser_rejects_bad_values():
+    parser = build_parser()
+    for argv in (
+        ["--slo", "IP@0"],          # missing fraction
+        ["--slo", "IP@0=2.0"],      # out of range
+        ["--mix", "IP"],            # missing core
+        ["--mix", "IP:x"],          # non-integer core
+        ["--mix", ""],              # empty
+        ["--fuzz", "0"],            # not positive
+        ["--seed", "zz"],           # not a number
+        ["--interval", "-5"],       # not positive
+        ["--engine", "warp"],       # unknown engine
+        ["--inject", "three-faced"],  # unknown injection
+    ):
+        with pytest.raises(SystemExit) as err:
+            parser.parse_args(argv)
+        assert err.value.code == 2, argv
+
+
+def test_parser_accepts_hex_seed_and_mix():
+    args = build_parser().parse_args(
+        ["--mix", "IP:0,MON:1", "--slo", "IP@0=0.1", "--seed", "0x5EED"])
+    assert args.mix == [("IP", 0), ("MON", 1)]
+    assert args.seed == 0x5EED
+    assert args.slo[0].label == "IP@0"
+
+
+def test_modes_are_mutually_exclusive(capsys):
+    assert main(["--mix", "IP:0", "--fuzz", "1"]) == 2
+    assert main(["--fuzz", "1", "--inject", "two-faced"]) == 2
+    assert "choose one of" in capsys.readouterr().err
+
+
+def test_mix_rejects_slo_for_unknown_flow(capsys):
+    assert main(["--mix", "IP:0", "--slo", "FW@3=0.1"]) == 2
+    err = capsys.readouterr().err
+    assert "FW@3" in err and "IP@0" in err
+
+
+def test_fuzz_mode_end_to_end(tmp_path, capsys):
+    out = tmp_path / "fuzz.json"
+    code = main(["--fuzz", "1", "--seed", hex(SEED), "--engine", "scalar",
+                 "--report", str(out)])
+    assert code == 0
+    assert "guard fuzz: 1 scenario(s)" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["kind"] == "guard"
+    assert doc["seed"] == SEED
+    assert doc["results"]["mode"] == "fuzz"
+    assert doc["results"]["ok"] is True
+    assert doc["command"].startswith("repro-guard --fuzz 1")
+
+
+def test_fuzz_mode_json_output(capsys):
+    code = main(["--fuzz", "1", "--seed", hex(SEED), "--engine", "scalar",
+                 "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["results"]["schema"] == "repro.guard_report/1"

@@ -1,0 +1,139 @@
+"""The two-faced containment demo: acceptance numbers and golden replay.
+
+One profiling pass drives both demo runs. The guarded run must land the
+victim back inside its SLO (within the prediction-error margin) after
+containment; the unguarded comparison must measurably violate it. Both
+runs are committed as ``kind="guard"`` golden reports and replayed
+byte-stably — under the batch engine too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.fastpath as fastpath
+from repro.guard.demo import CONTAINMENT_MARGIN, DemoConfig, victim_verdict
+from repro.guard.supervisor import CONTAINMENT_ACTIONS
+from repro.obs.report import validate_report
+
+from . import builders
+
+pytestmark = pytest.mark.guard
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"golden_{name}.json")
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return builders.build_runs()
+
+
+@pytest.fixture(scope="module")
+def batch_reports():
+    fastpath.clear_stream_cache()
+    with fastpath.use_engine("batch"):
+        return builders.build_reports()
+
+
+def test_admission_admits_the_declared_mix(runs):
+    # The aggressors present innocent profiles: per the offline numbers
+    # the mix genuinely fits, so admission (correctly) lets it in. The
+    # lie only becomes visible at runtime.
+    decision, _, _, _ = runs["demo_guarded"]
+    assert decision.admitted
+    victim = decision.flows[0]
+    assert victim["label"] == DemoConfig().victim_label
+    assert victim["headroom"] > 0
+
+
+def test_guarded_victim_lands_within_slo(runs):
+    _, guard, _, _ = runs["demo_guarded"]
+    config = DemoConfig(guarded=True)
+    verdict = victim_verdict(guard, config)
+    assert verdict["contained"], "the ladder never fired"
+    assert verdict["drop_post_containment"] is not None
+    # The acceptance bound: post-containment drop within SLO +/- the
+    # prediction-error margin (3 pp).
+    assert verdict["drop_post_containment"] <= config.slo + \
+        CONTAINMENT_MARGIN
+    assert verdict["within_slo"]
+    assert guard.unhandled == []
+
+
+def test_guarded_run_walks_the_ladder(runs):
+    _, guard, _, _ = runs["demo_guarded"]
+    actions = [e.action for e in guard.events]
+    assert "deviation" in actions     # two-faced flows detected ...
+    assert "violation" in actions     # ... the victim's SLO breached ...
+    assert "warn" in actions          # ... and the ladder walked
+    assert "tighten" in actions
+    assert any(a in CONTAINMENT_ACTIONS for a in actions)
+    # Graceful degradation: pressure subsides, restrictions lift.
+    assert "restore" in actions
+    deviants = {e.flow for e in guard.events if e.action == "deviation"}
+    assert deviants <= set(DemoConfig().aggressor_labels)
+
+
+def test_unguarded_victim_violates_its_slo(runs):
+    _, guard, _, _ = runs["demo_unguarded"]
+    config = DemoConfig(guarded=False)
+    verdict = victim_verdict(guard, config)
+    assert verdict["drop_overall"] is not None
+    assert verdict["drop_overall"] > config.slo
+    assert not verdict["contained"]
+    assert guard.last_containment_clock is None
+    actions = {e.action for e in guard.events}
+    assert "violation" in actions
+    assert not actions & set(CONTAINMENT_ACTIONS)
+    # Monitor-only still observes every breach (nothing unhandled) ...
+    assert guard.unhandled == []
+    # ... but the end-of-run verdict fails.
+    assert not guard.ok
+
+
+def test_guarded_strictly_better_than_unguarded(runs):
+    guarded = victim_verdict(runs["demo_guarded"][1],
+                             DemoConfig(guarded=True))
+    unguarded = victim_verdict(runs["demo_unguarded"][1],
+                               DemoConfig(guarded=False))
+    assert guarded["drop_overall"] < unguarded["drop_overall"]
+
+
+def test_goldens_exist_and_validate():
+    for name in builders.GOLDEN_NAMES:
+        path = golden_path(name)
+        assert os.path.exists(path), (
+            f"missing {path}; run PYTHONPATH=src python tests/guard/regen.py")
+        with open(path) as fh:
+            doc = json.load(fh)
+        validate_report(doc)
+        assert doc["kind"] == "guard"
+        assert doc["results"]["schema"] == "repro.guard_report/1"
+        assert doc["results"]["enforce"] is (name == "demo_guarded")
+        assert doc["results"]["unhandled"] == []
+        assert doc["results"]["admission"]["admitted"] is True
+
+
+@pytest.mark.parametrize("name", builders.GOLDEN_NAMES)
+def test_reports_replay_byte_stable(name, runs):
+    with open(golden_path(name)) as fh:
+        committed = fh.read()
+    fresh = runs[name][3].to_json() + "\n"
+    assert fresh == committed, (
+        f"{name} drifted from its golden; if intentional, regenerate with "
+        f"PYTHONPATH=src python tests/guard/regen.py and review the diff")
+
+
+@pytest.mark.parametrize("name", builders.GOLDEN_NAMES)
+def test_batch_engine_matches_goldens(name, batch_reports):
+    with open(golden_path(name)) as fh:
+        committed = fh.read()
+    assert batch_reports[name] == committed, (
+        f"{name}: batch engine diverged from the scalar-produced golden")

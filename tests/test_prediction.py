@@ -57,6 +57,75 @@ def test_turning_point_flat_curve():
     assert c.turning_point() == 0.0
 
 
+def test_predict_extrapolation_holds_last_level():
+    # Past the last swept level the curve must hold its final value — a
+    # deliberate over-estimate-preserving clamp, never a linear
+    # extrapolation that could run the drop past 1.0.
+    c = curve("X", [(10e6, 0.1), (20e6, 0.3)])
+    last_ref, last_drop = c.points[-1]
+    assert c.predict(last_ref) == pytest.approx(last_drop)
+    for factor in (1.0 + 1e-9, 2.0, 1e3):
+        assert c.predict(last_ref * factor) == pytest.approx(last_drop)
+
+
+def test_predict_extrapolation_of_non_monotone_tail():
+    # A noisy sweep can end on a downtick; the clamp holds the *last*
+    # point's value, not the maximum.
+    c = curve("X", [(10e6, 0.3), (20e6, 0.25)])
+    assert c.predict(50e6) == pytest.approx(0.25)
+
+
+def test_turning_point_monotone_flat_plateau():
+    # Rises then goes exactly flat: the turning point is where the
+    # interpolated curve first reaches 80% of the plateau.
+    c = curve("X", [(10e6, 0.2), (20e6, 0.2), (40e6, 0.2)])
+    # target = 0.16, crossed on the 0 -> 10e6 segment at t = 0.8.
+    assert c.turning_point() == pytest.approx(8e6)
+
+
+def test_turning_point_uniform_flat_nonzero():
+    # Degenerate: every swept point at the same nonzero drop. The
+    # anchored (0, 0) point makes the first segment carry the whole
+    # rise, so the turning point stays within it and never divides by
+    # a zero span.
+    c = curve("X", [(10e6, 0.1), (80e6, 0.1)])
+    tp = c.turning_point(fraction=0.5)
+    assert tp == pytest.approx(5e6)
+    assert 0.0 < tp < 10e6
+
+
+def test_turning_point_all_zero_drops():
+    c = curve("X", [(10e6, 0.0), (20e6, 0.0)])
+    assert c.turning_point() == 0.0
+
+
+def test_max_competition_inverts_the_curve():
+    c = curve("X", [(10e6, 0.1), (20e6, 0.3)])
+    # 20% drop is crossed halfway along the second segment.
+    assert c.max_competition(0.2) == pytest.approx(15e6)
+    # Exactly on a knot: the budget extends to the knot itself.
+    assert c.max_competition(0.1) == pytest.approx(10e6)
+
+
+def test_max_competition_none_when_curve_never_exceeds():
+    c = curve("X", [(10e6, 0.1), (20e6, 0.3)])
+    assert c.max_competition(0.3) is None
+    assert c.max_competition(0.9) is None
+
+
+def test_max_competition_zero_budget():
+    c = curve("X", [(10e6, 0.1)])
+    # Any competition at all predicts a drop above 0: budget is the
+    # zero-competition anchor.
+    assert c.max_competition(0.0) == pytest.approx(0.0)
+
+
+def test_max_competition_rejects_negative():
+    c = curve("X", [(10e6, 0.1)])
+    with pytest.raises(ValueError):
+        c.max_competition(-0.1)
+
+
 def make_predictor():
     profiles = {
         "A": profile("A", refs=20e6),

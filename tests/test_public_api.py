@@ -3,6 +3,7 @@
 import repro
 import repro.apps
 import repro.core
+import repro.guard
 import repro.net
 
 
@@ -12,7 +13,7 @@ def test_top_level_exports():
 
 
 def test_subpackage_exports():
-    for module in (repro.apps, repro.core, repro.net):
+    for module in (repro.apps, repro.core, repro.guard, repro.net):
         for name in module.__all__:
             assert getattr(module, name) is not None, (module.__name__, name)
 

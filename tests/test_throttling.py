@@ -183,6 +183,91 @@ def test_over_target_growth_and_quarter_gain_shrink():
     assert flow.extra_gap == pytest.approx(before - 0.25 * 0.6 * 1000)
 
 
+def test_finish_run_flushes_partial_window():
+    # adjust_every larger than the packets actually run: the periodic
+    # loop never fires, so the end-of-run flush must engage it instead.
+    flow, fr = make_throttle(adjust_every=1000, gain=0.6, target=1e6)
+    ctx = _Ctx()
+    for _ in range(5):
+        fr.counters.l3_refs += 10
+        fr.clock += 1000.0
+        flow.run_packet(ctx)
+    assert flow.adjustments == 0
+    flow.finish_run()
+    assert flow.adjustments == 1
+    # Same arithmetic as the periodic loop, over the 5-packet window:
+    # rate 1e7 refs/s vs target 1e6 -> error 9, 1000 cycles/packet.
+    assert flow.extra_gap == pytest.approx(0.6 * 9 * 1000)
+
+
+def test_finish_run_without_packets_is_a_no_op():
+    flow, _ = make_throttle(adjust_every=1000)
+    flow.finish_run()
+    assert flow.adjustments == 0
+    stats = flow.stats()
+    assert stats["packets"] == 0
+    assert stats["engaged"] is False
+
+
+def test_finish_run_is_flush_once():
+    flow, fr = make_throttle(adjust_every=1000)
+    fr.counters.l3_refs += 10
+    fr.clock += 1000.0
+    flow.run_packet(_Ctx())
+    flow.finish_run()
+    adjustments = flow.adjustments
+    flow.finish_run()  # no new packets since the flush: nothing to do
+    assert flow.adjustments == adjustments
+
+
+def test_finish_run_forwards_to_inner():
+    calls = []
+
+    class _FinishingInner(_InertFlow):
+        def finish_run(self):
+            calls.append(1)
+
+    flow = ThrottledFlow(_FinishingInner(), target_refs_per_sec=1e6)
+    flow.finish_run()
+    assert calls == [1]
+
+
+def test_stats_surface_dead_and_live_loops():
+    flow, fr = make_throttle(adjust_every=4)
+    ctx = _Ctx()
+    assert flow.stats()["engaged"] is False
+    for _ in range(4):
+        fr.counters.l3_refs += 10
+        fr.clock += 1000.0
+        flow.run_packet(ctx)
+    stats = flow.stats()
+    assert stats["engaged"] is True
+    assert stats["adjustments"] == 1
+    assert stats["packets"] == 4
+    assert stats["target_refs_per_sec"] == 1e6
+
+
+def test_periodic_and_flush_paths_share_arithmetic():
+    # A full periodic window and an equal-sized flushed window must
+    # produce bit-identical gaps (the flush is the same _adjust call).
+    periodic, fr_p = make_throttle(adjust_every=4)
+    flushed, fr_f = make_throttle(adjust_every=1000)
+    ctx = _Ctx()
+    for fr, flow in ((fr_p, periodic), (fr_f, flushed)):
+        for _ in range(4):
+            fr.counters.l3_refs += 10
+            fr.clock += 1000.0
+            flow.run_packet(ctx)
+    flushed.finish_run()
+    assert flushed.extra_gap == periodic.extra_gap
+
+
+def test_throttled_flow_is_never_stream_cached():
+    flow = ThrottledFlow(_InertFlow(), target_refs_per_sec=1e6)
+    assert flow.stream_signature is None
+    assert flow.timing_pure is False
+
+
 def test_two_faced_trigger_boundary_exact():
     innocent, aggressive = _Counting("i"), _Counting("a")
     flow = TwoFacedFlow(innocent, aggressive, trigger_packets=3)

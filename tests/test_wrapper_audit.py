@@ -1,0 +1,137 @@
+"""Wrapper-identity audit: the stream cache must never alias a wrapper.
+
+The batch engine keys its skeleton/stream cache on ``name`` and
+``stream_signature``. A wrapper flow (throttle, two-faced composite,
+guard) that passes either through unchanged could be cached under — and
+later served as — its bare inner flow, silently dropping the wrapper
+behaviour on cache-warm runs. ``Machine.add_flow`` audits every
+constructed flow against that; these are the regression tests.
+"""
+
+import pytest
+
+from repro.apps.synthetic import syn_factory, syn_max_factory
+from repro.core.throttling import TwoFacedFlow, throttled_factory
+from repro.guard.wrappers import guarded_factory
+from repro.hw.machine import Machine, _audit_wrapper_identity
+from repro.hw.topology import PlatformSpec
+
+
+def spec():
+    return PlatformSpec.westmere().scaled(64)
+
+
+class _NameStealingWrapper:
+    """A buggy wrapper that forwards its inner flow's identity."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = inner.name
+        self.stream_signature = None
+
+    def run_packet(self, ctx):
+        return self.inner.run_packet(ctx)
+
+
+class _SignatureStealingWrapper:
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = f"wrapped({inner.name})"
+        self.stream_signature = inner.stream_signature
+
+    def run_packet(self, ctx):
+        return self.inner.run_packet(ctx)
+
+
+def test_add_flow_rejects_name_aliasing_wrapper():
+    m = Machine(spec())
+    with pytest.raises(ValueError, match="name"):
+        m.add_flow(lambda env: _NameStealingWrapper(syn_factory()(env)),
+                   core=0)
+
+
+def test_add_flow_rejects_signature_aliasing_wrapper():
+    m = Machine(spec())
+    with pytest.raises(ValueError, match="stream signature"):
+        m.add_flow(
+            lambda env: _SignatureStealingWrapper(syn_factory()(env)),
+            core=0)
+
+
+class _UncacheableWrapper:
+    """The correct shape: distinct name, never stream-cached."""
+
+    stream_signature = None
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = f"wrapped({inner.name})"
+
+    def run_packet(self, ctx):
+        return self.inner.run_packet(ctx)
+
+
+def test_audit_allows_uncacheable_wrappers():
+    # stream_signature = None means "never cached": no aliasing risk,
+    # even though the inner flow carries a real signature.
+    m = Machine(spec())
+    fr = m.add_flow(lambda env: _UncacheableWrapper(syn_factory()(env)),
+                    core=0)
+    assert fr.flow.name.startswith("wrapped(")
+
+
+def test_shipped_wrappers_pass_the_audit():
+    # Every wrapper in the tree must construct cleanly under the audit.
+    m = Machine(spec())
+    m.add_flow(throttled_factory(syn_factory(), target_refs_per_sec=1e6),
+               core=0)
+    m.add_flow(guarded_factory(syn_factory()), core=1)
+
+    def two_faced(env):
+        return TwoFacedFlow(syn_factory()(env), syn_max_factory()(env),
+                            trigger_packets=10)
+
+    m.add_flow(two_faced, core=2)
+    names = [fr.flow.name for fr in m.flows]
+    assert all(name.startswith(("throttled(", "guarded(", "twofaced("))
+               for name in names)
+
+
+def test_audit_ignores_flows_without_inners():
+    class Plain:
+        name = "plain"
+
+        def run_packet(self, ctx):
+            return None
+
+    _audit_wrapper_identity(Plain())  # must not raise
+
+
+def test_audit_checks_two_faced_personas():
+    class Persona:
+        def __init__(self, name):
+            self.name = name
+            self.stream_signature = ("syn", 1, 2)
+
+        def run_packet(self, ctx):
+            return None
+
+    flow = TwoFacedFlow(Persona("i"), Persona("a"), trigger_packets=1)
+    # TwoFacedFlow derives a composite signature: distinct, passes.
+    assert flow.stream_signature != ("syn", 1, 2)
+    _audit_wrapper_identity(flow)
+
+    class BuggyComposite:
+        """Forwards a persona's signature verbatim (the audited bug)."""
+
+        def __init__(self, innocent, aggressive):
+            self.innocent = innocent
+            self.aggressive = aggressive
+            self.name = "buggy"
+            self.stream_signature = innocent.stream_signature
+
+        def run_packet(self, ctx):
+            return None
+
+    with pytest.raises(ValueError, match="stream signature"):
+        _audit_wrapper_identity(BuggyComposite(Persona("i"), Persona("a")))
